@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_bench_*`` module regenerates one figure/table of the paper using
+``pytest-benchmark`` so that both the *result* (asserted shapes, recorded in
+EXPERIMENTS.md) and the *cost* of regenerating it are tracked.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.pdnspot import PdnSpot
+
+
+@pytest.fixture(scope="session")
+def spot():
+    """A PDNspot instance shared by all benchmarks (predictor built once)."""
+    instance = PdnSpot()
+    # Force the FlexWatts predictor calibration outside the timed sections.
+    _ = instance.pdn("FlexWatts").predictor
+    return instance

@@ -1,0 +1,23 @@
+"""Benchmark E-FIG2: regenerate Fig. 2(a) and Fig. 2(b)."""
+
+from repro.experiments import fig2_performance_model as fig2
+
+
+def test_bench_fig2a_frequency_sensitivity(benchmark):
+    records = benchmark(fig2.frequency_sensitivity_table)
+    costs = {record["tdp_w"]: record["cpu_mw_per_percent"] for record in records}
+    # Paper: ~9 mW per +1 % frequency at 4 W, growing monotonically with TDP.
+    assert 4.0 <= costs[4.0] <= 15.0
+    assert costs[50.0] > 20.0 * costs[4.0]
+    assert list(costs.values()) == sorted(costs.values())
+
+
+def test_bench_fig2b_budget_breakdown(benchmark):
+    records = benchmark(fig2.budget_breakdown_table)
+    by_tdp = {record["tdp_w"]: record for record in records}
+    # CPU share of the budget grows with TDP; PDN loss stays above ~20 %.
+    assert by_tdp[50.0]["cpu_fraction"] > by_tdp[4.0]["cpu_fraction"]
+    assert all(record["pdn_loss_fraction"] > 0.2 for record in records)
+    # The worst-loss PDN flips from IVR at low TDP to MBVR at high TDP.
+    assert by_tdp[4.0]["worst_pdn"] == "IVR"
+    assert by_tdp[50.0]["worst_pdn"] == "MBVR"

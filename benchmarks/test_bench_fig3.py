@@ -1,0 +1,24 @@
+"""Benchmark E-FIG3: regenerate the Fig. 3 off-chip VR efficiency curves."""
+
+from repro.experiments import fig3_vr_efficiency as fig3
+
+
+def _lookup(records, power_state, vout, iout):
+    return next(
+        r["efficiency"]
+        for r in records
+        if r["power_state"] == power_state and r["vout_v"] == vout and r["iout_a"] == iout
+    )
+
+
+def test_bench_fig3_vr_efficiency_curves(benchmark):
+    records = benchmark(fig3.vr_efficiency_curves)
+    # Shape 1: efficiency rises from light load to the multi-amp plateau.
+    assert _lookup(records, "PS0", 0.6, 5.0) > _lookup(records, "PS0", 0.6, 0.1)
+    # Shape 2: higher output voltages are uniformly more efficient.
+    assert _lookup(records, "PS0", 1.8, 2.0) > _lookup(records, "PS0", 0.6, 2.0)
+    # Shape 3: PS1 wins at light load, PS0 wins at heavy load.
+    assert _lookup(records, "PS1", 0.6, 0.1) > _lookup(records, "PS0", 0.6, 0.1)
+    assert _lookup(records, "PS0", 0.6, 10.0) > _lookup(records, "PS1", 0.6, 10.0)
+    # Shape 4: everything stays inside the measured 45-93 % envelope.
+    assert all(0.4 <= r["efficiency"] <= 0.93 for r in records)

@@ -1,0 +1,28 @@
+"""Benchmark E-FIG5: regenerate the Fig. 5 loss-breakdown bars."""
+
+from repro.experiments import fig5_loss_breakdown as fig5
+
+
+def test_bench_fig5_loss_breakdown(benchmark):
+    records = benchmark(fig5.loss_breakdown)
+    by_key = {(r["pdn"], r["tdp_w"]): r for r in records}
+    # VR inefficiency dominates at 4 W and is largest for the IVR PDN.
+    assert by_key[("IVR", 4.0)]["vr_inefficiency"] > by_key[("MBVR", 4.0)]["vr_inefficiency"]
+    assert by_key[("IVR", 4.0)]["vr_inefficiency"] > by_key[("LDO", 4.0)]["vr_inefficiency"]
+    # Compute-rail conduction loss grows with TDP much faster for MBVR/LDO
+    # than for IVR (Fig. 5's key message).
+    for pdn in ("MBVR", "LDO"):
+        assert (
+            by_key[(pdn, 50.0)]["conduction_compute"]
+            > 3.0 * by_key[(pdn, 4.0)]["conduction_compute"]
+        )
+        assert (
+            by_key[(pdn, 50.0)]["conduction_compute"]
+            > by_key[("IVR", 50.0)]["conduction_compute"]
+        )
+    # Line plots: MBVR/LDO chip input current well above IVR's; load-lines
+    # match Table 2 (2.5x and 1.25x the IVR input rail).
+    assert by_key[("MBVR", 50.0)]["normalised_input_current"] > 1.3
+    assert by_key[("LDO", 50.0)]["normalised_input_current"] > 1.3
+    assert by_key[("MBVR", 18.0)]["compute_loadline_mohm"] == 2.5
+    assert by_key[("LDO", 18.0)]["compute_loadline_mohm"] == 1.25

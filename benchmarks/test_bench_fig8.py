@@ -1,0 +1,48 @@
+"""Benchmark E-FIG8: regenerate the five panels of the headline evaluation."""
+
+from repro.experiments import fig8_evaluation as fig8
+
+
+def test_bench_fig8a_spec_sweep(benchmark, spot):
+    records = benchmark(fig8.spec_performance_sweep, spot=spot)
+    by_tdp = {record["tdp_w"]: record for record in records}
+    # FlexWatts ~+22 % over IVR at 4 W, never below IVR, and it tracks IVR's
+    # advantage over MBVR at high TDPs.
+    assert by_tdp[4.0]["FlexWatts"] > 1.18
+    assert all(record["FlexWatts"] >= record["IVR"] - 1e-9 for record in records)
+    assert by_tdp[50.0]["FlexWatts"] > by_tdp[50.0]["MBVR"]
+
+
+def test_bench_fig8b_graphics_sweep(benchmark, spot):
+    records = benchmark(fig8.graphics_performance_sweep, spot=spot)
+    by_tdp = {record["tdp_w"]: record for record in records}
+    # Paper: up to ~25 % improvement over IVR at low TDPs for 3DMark06.
+    assert by_tdp[4.0]["FlexWatts"] > 1.20
+    assert by_tdp[50.0]["FlexWatts"] >= by_tdp[50.0]["LDO"]
+
+
+def test_bench_fig8c_battery_life(benchmark, spot):
+    table = benchmark(fig8.battery_life_power, spot=spot)
+    video = table["video_playback"]
+    # Paper: ~11 % lower video-playback power than IVR; MBVR/LDO similar.
+    assert 0.80 < video["FlexWatts"] < 0.95
+    assert video["MBVR"] < 0.95
+    assert all(powers["FlexWatts"] <= powers["LDO"] + 0.02 for powers in table.values())
+
+
+def test_bench_fig8d_bom(benchmark, spot):
+    records = benchmark(fig8.bom_sweep, spot=spot)
+    for record in records:
+        # MBVR/LDO several times the IVR BOM; FlexWatts/I+MBVR comparable.
+        assert record["MBVR"] > 1.8
+        assert record["LDO"] > 1.4
+        assert record["FlexWatts"] < 1.6
+        assert abs(record["FlexWatts"] - record["I+MBVR"]) < 0.05
+
+
+def test_bench_fig8e_board_area(benchmark, spot):
+    records = benchmark(fig8.board_area_sweep, spot=spot)
+    for record in records:
+        assert record["MBVR"] > 1.8
+        assert record["LDO"] > 1.4
+        assert record["FlexWatts"] < 1.6

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""FlexWatts' adaptive behaviour over a time-varying workload.
+
+This example runs the interval simulator on a bursty workload -- alternating
+between a compute-heavy SPEC phase and deep package idle -- at a high TDP, and
+compares:
+
+* the static IVR, MBVR and LDO PDNs,
+* FlexWatts with its Algorithm-1 predictor (paying the 94 us mode-switch flow
+  whenever the selected mode changes), and
+* FlexWatts pinned to each mode, to show what the adaptivity buys.
+
+Run with::
+
+    python examples/adaptive_runtime.py
+"""
+
+from repro import FlexWattsPdn, PdnMode, build_pdn
+from repro.analysis.reporting import format_table
+from repro.core.mode_switching import ModeSwitchController
+from repro.sim.engine import IntervalSimulator
+from repro.workloads.spec_cpu2006 import SPEC_CPU2006_BENCHMARKS
+from repro.workloads.synthetic import SyntheticTraceGenerator
+
+TDP_W = 36.0
+
+
+def build_trace():
+    """A bursty trace: 60 % heavy compute, 40 % deep idle, 50 ms phases."""
+    generator = SyntheticTraceGenerator(seed=42)
+    benchmark = SPEC_CPU2006_BENCHMARKS[-1]  # 416.gamess: highly scalable
+    return generator.bursty_trace(
+        "bursty_gamess",
+        benchmark,
+        active_residency=0.6,
+        phase_duration_s=50e-3,
+        phase_count=40,
+    )
+
+
+def main() -> None:
+    trace = build_trace()
+    simulator = IntervalSimulator(tdp_w=TDP_W)
+
+    # Static baselines.
+    results = {
+        name: simulator.run(trace, build_pdn(name)) for name in ("IVR", "MBVR", "LDO")
+    }
+
+    # Adaptive FlexWatts (boots in IVR-Mode, switches as the predictor sees fit).
+    adaptive = FlexWattsPdn(
+        switch_controller=ModeSwitchController(initial_mode=PdnMode.IVR_MODE, min_residency_s=10e-3)
+    )
+    results["FlexWatts (adaptive)"] = simulator.run(trace, adaptive)
+
+    # FlexWatts pinned to each mode, for reference.  A trivial predictor that
+    # always returns the pinned mode keeps the hybrid PDN from ever switching.
+    class _PinnedPredictor:
+        def __init__(self, mode: PdnMode):
+            self._mode = mode
+
+        def predict(self, telemetry) -> PdnMode:
+            return self._mode
+
+    for mode in (PdnMode.IVR_MODE, PdnMode.LDO_MODE):
+        pinned = FlexWattsPdn(
+            predictor=_PinnedPredictor(mode),
+            switch_controller=ModeSwitchController(initial_mode=mode),
+        )
+        results[f"FlexWatts ({mode.value})"] = simulator.run(trace, pinned)
+
+    reference_energy = results["IVR"].total_energy_j
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            [
+                name,
+                result.average_power_w,
+                result.total_energy_j,
+                result.total_energy_j / reference_energy,
+                result.mode_switch_count,
+                result.mode_switch_time_s * 1e6,
+            ]
+        )
+    print(
+        format_table(
+            ["PDN", "avg power (W)", "energy (J)", "vs IVR", "switches", "switch time (us)"],
+            rows,
+            title=f"Bursty workload at {TDP_W:.0f} W TDP ({trace.name})",
+        )
+    )
+    adaptive_result = results["FlexWatts (adaptive)"]
+    print()
+    print(
+        "Adaptive FlexWatts spent "
+        f"{adaptive_result.time_in_mode_s(PdnMode.IVR_MODE) * 1e3:.0f} ms in IVR-Mode and "
+        f"{adaptive_result.time_in_mode_s(PdnMode.LDO_MODE) * 1e3:.0f} ms in LDO-Mode, "
+        f"switching {adaptive_result.mode_switch_count} times "
+        f"({adaptive_result.mode_switch_time_s * 1e6:.0f} us of switch-flow time, "
+        f"{adaptive_result.mode_switch_energy_j * 1e3:.2f} mJ of switch energy)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Battery-life study: average power of light workloads on each PDN.
+
+Reproduces the Fig. 8(c) analysis in more detail: for each of the four
+battery-life workloads (video playback, video conferencing, web browsing,
+light gaming) the average platform power is computed for every PDN, the
+per-power-state contributions are broken down, and an estimated battery life
+is derived for a typical 50 Wh notebook battery.
+
+Run with::
+
+    python examples/battery_life_study.py
+"""
+
+from repro import PdnSpot, OperatingConditions
+from repro.analysis.reporting import format_table
+from repro.workloads.battery_life import BATTERY_LIFE_WORKLOADS
+
+PDN_ORDER = ("IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts")
+BATTERY_CAPACITY_WH = 50.0
+#: Platform power drawn outside the processor PDN (display, storage, Wi-Fi),
+#: assumed PDN-independent.  Used only for the battery-life translation.
+REST_OF_PLATFORM_W = 1.5
+
+
+def average_power_table(spot: PdnSpot) -> None:
+    rows = []
+    for workload in BATTERY_LIFE_WORKLOADS:
+        powers = {name: workload.average_power_w(spot.pdn(name)) for name in PDN_ORDER}
+        rows.append([workload.name] + [powers[name] for name in PDN_ORDER])
+    print(
+        format_table(
+            ["workload"] + list(PDN_ORDER),
+            rows,
+            title="Average processor-side power (W)",
+        )
+    )
+    print()
+
+
+def per_state_breakdown(spot: PdnSpot) -> None:
+    video = BATTERY_LIFE_WORKLOADS[0]
+    rows = []
+    for state, residency in video.residencies.items():
+        conditions = OperatingConditions.for_power_state(18.0, state)
+        row = [state.value, residency]
+        for name in PDN_ORDER:
+            row.append(spot.pdn(name).evaluate(conditions).supply_power_w * residency)
+        rows.append(row)
+    print(
+        format_table(
+            ["state", "residency"] + list(PDN_ORDER),
+            rows,
+            title="Video playback: per-power-state contribution to average power (W)",
+        )
+    )
+    print()
+
+
+def battery_life_table(spot: PdnSpot) -> None:
+    rows = []
+    for workload in BATTERY_LIFE_WORKLOADS:
+        row = [workload.name]
+        for name in PDN_ORDER:
+            total_power = workload.average_power_w(spot.pdn(name)) + REST_OF_PLATFORM_W
+            row.append(BATTERY_CAPACITY_WH / total_power)
+        rows.append(row)
+    print(
+        format_table(
+            ["workload"] + list(PDN_ORDER),
+            rows,
+            float_format=".1f",
+            title=f"Estimated battery life (hours, {BATTERY_CAPACITY_WH:.0f} Wh battery)",
+        )
+    )
+    print()
+
+
+def main() -> None:
+    spot = PdnSpot()
+    average_power_table(spot)
+    per_state_breakdown(spot)
+    battery_life_table(spot)
+    video = BATTERY_LIFE_WORKLOADS[0]
+    ivr = video.average_power_w(spot.pdn("IVR"))
+    flexwatts = video.average_power_w(spot.pdn("FlexWatts"))
+    print(
+        f"FlexWatts reduces video-playback processor power by {(1 - flexwatts / ivr) * 100:.1f}% "
+        "relative to the IVR PDN (the paper reports ~11%)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Design-space exploration with PDNspot.
+
+This example exercises the multi-dimensional exploration the paper built
+PDNspot for:
+
+1. sweep the TDP and locate the ETEE crossover point between the IVR PDN and
+   the single-stage PDNs (Observation 1),
+2. sweep the application ratio to show the load-line effect (Observation 2),
+3. run a what-if study on a technology parameter (the regulator tolerance
+   band) to see how sensitive each PDN's efficiency is to it, and
+4. print the Iccmax requirements that drive the BOM/area differences.
+
+Run with::
+
+    python examples/design_space_exploration.py
+"""
+
+from repro import PdnSpot, default_parameters
+from repro.analysis.reporting import format_table
+from repro.cost.iccmax import pdn_iccmax_summary
+from repro.power.domains import WorkloadType
+
+PDN_ORDER = ("IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts")
+TDP_GRID_W = (4.0, 8.0, 10.0, 18.0, 25.0, 36.0, 50.0)
+
+
+def tdp_sweep(spot: PdnSpot) -> None:
+    """ETEE versus TDP and the IVR/MBVR crossover point."""
+    rows = []
+    crossover = None
+    previous_gap = None
+    for tdp_w in TDP_GRID_W:
+        etee = spot.compare_etee(tdp_w=tdp_w)
+        rows.append([tdp_w] + [etee[name] for name in PDN_ORDER])
+        gap = etee["IVR"] - etee["MBVR"]
+        if previous_gap is not None and previous_gap < 0.0 <= gap:
+            crossover = tdp_w
+        previous_gap = gap
+    print(format_table(["TDP (W)"] + list(PDN_ORDER), rows, title="ETEE vs TDP (CPU workload)"))
+    if crossover is not None:
+        print(f"IVR overtakes MBVR between {crossover - 10:.0f} W and {crossover:.0f} W.")
+    print()
+
+
+def application_ratio_sweep(spot: PdnSpot) -> None:
+    """ETEE versus application ratio at 18 W (the load-line effect)."""
+    ratios = (0.40, 0.50, 0.60, 0.70, 0.80)
+    rows = []
+    for ar in ratios:
+        etee = spot.compare_etee(tdp_w=18.0, application_ratio=ar)
+        rows.append([ar] + [etee[name] for name in PDN_ORDER])
+    print(format_table(["AR"] + list(PDN_ORDER), rows, title="ETEE vs application ratio (18 W)"))
+    print()
+
+
+def tolerance_band_what_if() -> None:
+    """What-if: halve every regulator tolerance band."""
+    nominal = PdnSpot()
+    tightened = PdnSpot(
+        parameters=default_parameters().with_overrides(
+            ivr_tolerance_band_v=0.010,
+            mbvr_tolerance_band_v=0.010,
+            ldo_tolerance_band_v=0.009,
+        )
+    )
+    rows = []
+    for name in PDN_ORDER:
+        before = nominal.compare_etee(tdp_w=10.0)[name]
+        after = tightened.compare_etee(tdp_w=10.0)[name]
+        rows.append([name, before, after, after - before])
+    print(
+        format_table(
+            ["PDN", "nominal TOB", "half TOB", "delta"],
+            rows,
+            title="What-if: halving the regulator tolerance bands (10 W)",
+        )
+    )
+    print()
+
+
+def iccmax_requirements(spot: PdnSpot) -> None:
+    """Per-rail Iccmax requirements at 50 W (the Fig. 8d-e driver)."""
+    summary = pdn_iccmax_summary(spot.pdns.values(), 50.0)
+    rows = []
+    for pdn_name, rails in summary.items():
+        for rail, iccmax in sorted(rails.items()):
+            rows.append([pdn_name, rail, iccmax])
+    print(
+        format_table(
+            ["PDN", "rail", "Iccmax (A)"],
+            rows,
+            float_format=".1f",
+            title="Off-chip regulator Iccmax requirements at 50 W",
+        )
+    )
+
+
+def main() -> None:
+    spot = PdnSpot()
+    tdp_sweep(spot)
+    application_ratio_sweep(spot)
+    tolerance_band_what_if()
+    iccmax_requirements(spot)
+    graphics = spot.compare_etee(tdp_w=18.0, workload_type=WorkloadType.GRAPHICS)
+    cpu = spot.compare_etee(tdp_w=18.0, workload_type=WorkloadType.CPU_MULTI_THREAD)
+    print(
+        "Workload-type effect at 18 W: LDO loses "
+        f"{(cpu['LDO'] - graphics['LDO']) * 100:.1f} ETEE points on graphics workloads, "
+        f"MBVR only {(cpu['MBVR'] - graphics['MBVR']) * 100:.1f}."
+    )
+
+
+if __name__ == "__main__":
+    main()

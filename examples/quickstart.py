@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: compare the five PDN architectures with PDNspot.
+
+Builds the default PDNspot instance (Table 2 parameters), evaluates the five
+PDN architectures at a low-TDP and a high-TDP operating point, and prints the
+end-to-end efficiency (ETEE), the SPEC CPU2006 performance comparison and the
+cost comparison -- the condensed version of the paper's headline results.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import PdnSpot
+from repro.analysis.reporting import format_table
+from repro.workloads.spec_cpu2006 import SPEC_CPU2006_BENCHMARKS
+
+PDN_ORDER = ("IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts")
+
+
+def main() -> None:
+    spot = PdnSpot()
+
+    # 1. End-to-end power-conversion efficiency at a tablet-class and a
+    #    desktop-class TDP (CPU-intensive workload, AR = 56 %).
+    rows = []
+    for tdp_w in (4.0, 18.0, 50.0):
+        etee = spot.compare_etee(tdp_w=tdp_w)
+        rows.append([tdp_w] + [etee[name] for name in PDN_ORDER])
+    print(format_table(["TDP (W)"] + list(PDN_ORDER), rows, title="ETEE (CPU workload)"))
+    print()
+
+    # 2. SPEC CPU2006 performance, normalised to the IVR PDN (Fig. 7 / 8a).
+    rows = []
+    for tdp_w in (4.0, 18.0, 50.0):
+        performance = spot.compare_performance(SPEC_CPU2006_BENCHMARKS, tdp_w)
+        rows.append([tdp_w] + [performance[name] for name in PDN_ORDER])
+    print(
+        format_table(
+            ["TDP (W)"] + list(PDN_ORDER),
+            rows,
+            title="SPEC CPU2006 average performance (normalised to IVR)",
+        )
+    )
+    print()
+
+    # 3. Battery life: average power of a video-playback workload (Fig. 8c).
+    battery = spot.compare_battery_life_power()["video_playback"]
+    reference = battery["IVR"]
+    rows = [[name, battery[name], battery[name] / reference] for name in PDN_ORDER]
+    print(
+        format_table(
+            ["PDN", "avg power (W)", "vs IVR"],
+            rows,
+            title="Video playback average power",
+        )
+    )
+    print()
+
+    # 4. Cost and area at 18 W (Fig. 8d-e).
+    bom = spot.compare_bom(18.0)
+    area = spot.compare_board_area(18.0)
+    rows = [[name, bom[name], area[name]] for name in PDN_ORDER]
+    print(
+        format_table(
+            ["PDN", "BOM vs IVR", "area vs IVR"], rows, title="Cost and board area at 18 W"
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

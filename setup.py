@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists only so
+that legacy editable installs (``pip install -e .`` on environments without
+the ``wheel`` package) keep working.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""FlexWatts / PDNspot reproduction.
+
+A behavioural, architecture-level model of client-processor power delivery
+networks (PDNs), reproducing *FlexWatts: A Power- and Workload-Aware Hybrid
+Power Delivery Network for Energy-Efficient Microprocessors* (MICRO 2020).
+
+The library has two halves, mirroring the paper:
+
+* **PDNspot** -- the exploration framework: voltage-regulator and PDN models
+  (:mod:`repro.vr`, :mod:`repro.pdn`), the power/performance substrate
+  (:mod:`repro.power`, :mod:`repro.soc`, :mod:`repro.perf`), cost models
+  (:mod:`repro.cost`), workloads (:mod:`repro.workloads`) and the analysis
+  facade (:mod:`repro.analysis`).
+* **FlexWatts** -- the hybrid adaptive PDN itself (:mod:`repro.core`):
+  hybrid IVR/LDO regulators, the Algorithm-1 mode predictor, the
+  voltage-noise-free mode-switch flow, and the runtime input estimator,
+  plus an interval simulator (:mod:`repro.sim`) that exercises the adaptive
+  behaviour over time-varying workloads.
+
+Quickstart
+----------
+>>> from repro import PdnSpot
+>>> spot = PdnSpot()
+>>> etee = spot.compare_etee(tdp_w=4.0)
+>>> sorted(etee, key=etee.get)[-1] in ("FlexWatts", "LDO", "MBVR")
+True
+"""
+
+from repro.analysis.pdnspot import PdnSpot
+from repro.core.flexwatts import FlexWattsPdn
+from repro.core.hybrid_vr import PdnMode
+from repro.pdn.base import OperatingConditions, PdnEvaluation
+from repro.pdn.registry import available_pdns, build_pdn
+from repro.power.domains import DomainKind, DomainLoad, WorkloadType
+from repro.power.parameters import PdnTechnologyParameters, default_parameters
+from repro.power.power_states import PackageCState
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PdnSpot",
+    "FlexWattsPdn",
+    "PdnMode",
+    "OperatingConditions",
+    "PdnEvaluation",
+    "available_pdns",
+    "build_pdn",
+    "DomainKind",
+    "DomainLoad",
+    "WorkloadType",
+    "PackageCState",
+    "PdnTechnologyParameters",
+    "default_parameters",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""The PDNspot analysis framework.
+
+This package is the user-facing layer of the reproduction: it glues the PDN
+models, the performance model, the cost models and the workload suites into
+the multi-dimensional exploration tool the paper describes.
+
+* :mod:`repro.analysis.pdnspot` -- the :class:`PdnSpot` facade: evaluate,
+  compare and sweep PDNs across TDPs, application ratios, workloads and power
+  states.
+* :mod:`repro.analysis.sweep` -- generic sweep helpers producing flat records.
+* :mod:`repro.analysis.validation` -- the model-validation harness that mimics
+  Sec. 4.3: a synthetic "measured" reference with parameter perturbations and
+  measurement noise, against which the models' ETEE predictions are scored.
+* :mod:`repro.analysis.comparison` -- normalised PDN comparison tables.
+* :mod:`repro.analysis.reporting` -- plain-text table rendering used by the
+  examples and benchmark harness.
+"""
+
+from repro.analysis.pdnspot import PdnSpot
+from repro.analysis.sweep import sweep_application_ratio, sweep_power_states, sweep_tdp
+from repro.analysis.validation import ValidationHarness, ValidationRecord, ValidationSummary
+from repro.analysis.comparison import normalised_metric_table
+from repro.analysis.reporting import format_table
+from repro.analysis.sensitivity import SensitivityAnalysis, SensitivityRecord
+
+__all__ = [
+    "PdnSpot",
+    "sweep_tdp",
+    "sweep_application_ratio",
+    "sweep_power_states",
+    "ValidationHarness",
+    "ValidationRecord",
+    "ValidationSummary",
+    "normalised_metric_table",
+    "format_table",
+    "SensitivityAnalysis",
+    "SensitivityRecord",
+]

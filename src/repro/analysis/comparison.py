@@ -1,0 +1,69 @@
+"""Normalised PDN comparison tables.
+
+Every evaluation figure in the paper (Fig. 7, Fig. 8a-e) reports its metric
+*normalised to the IVR PDN*.  This module holds the one helper all experiment
+drivers share for producing such tables, plus a convenience wrapper that
+assembles the full Fig. 8-style summary (performance, battery life, BOM,
+area) for a set of PDNs at one TDP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+from repro.util.errors import ConfigurationError
+
+
+def normalised_metric_table(
+    metric_by_pdn: Mapping[str, float],
+    reference_name: str = "IVR",
+    higher_is_better: bool = True,
+) -> Dict[str, float]:
+    """Normalise a per-PDN metric against a reference PDN.
+
+    Parameters
+    ----------
+    metric_by_pdn:
+        Raw metric values keyed by PDN name.
+    reference_name:
+        The PDN every value is divided by (IVR in the paper).
+    higher_is_better:
+        Only used for sanity: normalisation itself is direction-agnostic, but
+        callers document the metric direction through this flag, and it is
+        validated to avoid accidentally normalising an empty table.
+    """
+    if not metric_by_pdn:
+        raise ConfigurationError("cannot normalise an empty metric table")
+    if reference_name not in metric_by_pdn:
+        raise ConfigurationError(
+            f"reference PDN {reference_name!r} missing from the metric table"
+        )
+    reference_value = metric_by_pdn[reference_name]
+    if reference_value == 0.0:
+        raise ConfigurationError("reference metric value must be non-zero")
+    _ = higher_is_better  # direction does not change the arithmetic
+    return {name: value / reference_value for name, value in metric_by_pdn.items()}
+
+
+def best_pdn(
+    metric_by_pdn: Mapping[str, float], higher_is_better: bool = True
+) -> str:
+    """Name of the best PDN under the given metric direction."""
+    if not metric_by_pdn:
+        raise ConfigurationError("cannot pick the best PDN from an empty table")
+    chooser = max if higher_is_better else min
+    return chooser(metric_by_pdn, key=metric_by_pdn.get)
+
+
+def merge_comparisons(
+    tables: Mapping[str, Mapping[str, float]]
+) -> Dict[str, Dict[str, float]]:
+    """Merge several per-PDN metric tables into a PDN -> metric -> value map."""
+    pdn_names: Iterable[str] = set()
+    for table in tables.values():
+        pdn_names = set(pdn_names) | set(table.keys())
+    merged: Dict[str, Dict[str, float]] = {name: {} for name in sorted(pdn_names)}
+    for metric_name, table in tables.items():
+        for pdn_name, value in table.items():
+            merged[pdn_name][metric_name] = value
+    return merged

@@ -1,0 +1,187 @@
+"""The PDNspot facade.
+
+:class:`PdnSpot` is the single entry point most users need: it owns a set of
+PDN models built from one technology-parameter set and exposes the paper's
+analyses as methods -- ETEE evaluation and comparison, TDP/AR/power-state
+sweeps, performance comparison against a baseline PDN, battery-life power,
+BOM and board-area comparison.
+
+Example
+-------
+>>> from repro import PdnSpot
+>>> spot = PdnSpot()
+>>> spot.compare_etee(tdp_w=4.0)["FlexWatts"] > spot.compare_etee(tdp_w=4.0)["IVR"]
+True
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.sweep import (
+    Record,
+    sweep_application_ratio,
+    sweep_power_states,
+    sweep_tdp,
+)
+from repro.cost.board_area import BoardAreaModel
+from repro.cost.bom import BomModel
+from repro.pdn.base import OperatingConditions, PdnEvaluation, PowerDeliveryNetwork
+from repro.pdn.registry import available_pdns, build_pdn
+from repro.perf.model import PerformanceModel, PerformanceResult
+from repro.power.domains import WorkloadType
+from repro.power.parameters import PdnTechnologyParameters, default_parameters
+from repro.power.power_states import PackageCState
+from repro.util.errors import ConfigurationError
+from repro.workloads.base import Benchmark
+from repro.workloads.battery_life import BATTERY_LIFE_WORKLOADS
+
+
+class PdnSpot:
+    """Multi-dimensional PDN exploration framework (the paper's PDNspot).
+
+    Parameters
+    ----------
+    parameters:
+        Technology parameters shared by every PDN model (Table 2 defaults).
+    pdn_names:
+        Which PDN architectures to instantiate; defaults to all five.
+    baseline_name:
+        The PDN used for normalisation (IVR, the state of the art).
+    """
+
+    def __init__(
+        self,
+        parameters: Optional[PdnTechnologyParameters] = None,
+        pdn_names: Optional[Sequence[str]] = None,
+        baseline_name: str = "IVR",
+    ):
+        self.parameters = parameters if parameters is not None else default_parameters()
+        names = list(pdn_names) if pdn_names is not None else available_pdns()
+        if baseline_name not in names:
+            raise ConfigurationError(
+                f"baseline PDN {baseline_name!r} must be among the instantiated PDNs"
+            )
+        self._pdns: Dict[str, PowerDeliveryNetwork] = {
+            name: build_pdn(name, self.parameters) for name in names
+        }
+        self._baseline_name = baseline_name
+        self._performance_model = PerformanceModel(self._pdns[baseline_name])
+        self._bom_model = BomModel()
+        self._area_model = BoardAreaModel()
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def pdns(self) -> Dict[str, PowerDeliveryNetwork]:
+        """The instantiated PDN models, keyed by name."""
+        return dict(self._pdns)
+
+    @property
+    def baseline(self) -> PowerDeliveryNetwork:
+        """The baseline PDN used for normalisation."""
+        return self._pdns[self._baseline_name]
+
+    def pdn(self, name: str) -> PowerDeliveryNetwork:
+        """Return one PDN model by name."""
+        if name not in self._pdns:
+            raise ConfigurationError(
+                f"PDN {name!r} is not instantiated; available: {', '.join(self._pdns)}"
+            )
+        return self._pdns[name]
+
+    # ------------------------------------------------------------------ #
+    # ETEE evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, pdn_name: str, conditions: OperatingConditions) -> PdnEvaluation:
+        """Evaluate one PDN at an explicit operating point."""
+        return self.pdn(pdn_name).evaluate(conditions)
+
+    def compare_etee(
+        self,
+        tdp_w: float,
+        application_ratio: float = 0.56,
+        workload_type: WorkloadType = WorkloadType.CPU_MULTI_THREAD,
+    ) -> Dict[str, float]:
+        """ETEE of every instantiated PDN at one active operating point."""
+        conditions = OperatingConditions.for_active_workload(
+            tdp_w, application_ratio, workload_type
+        )
+        return {name: pdn.evaluate(conditions).etee for name, pdn in self._pdns.items()}
+
+    def compare_power_state_etee(
+        self, tdp_w: float, power_state: PackageCState
+    ) -> Dict[str, float]:
+        """ETEE of every instantiated PDN in one package power state."""
+        conditions = OperatingConditions.for_power_state(tdp_w, power_state)
+        return {name: pdn.evaluate(conditions).etee for name, pdn in self._pdns.items()}
+
+    # ------------------------------------------------------------------ #
+    # Sweeps
+    # ------------------------------------------------------------------ #
+    def tdp_sweep(
+        self,
+        tdps_w: Sequence[float],
+        application_ratio: float = 0.56,
+        workload_type: WorkloadType = WorkloadType.CPU_MULTI_THREAD,
+    ) -> List[Record]:
+        """ETEE sweep over TDP for every instantiated PDN."""
+        return sweep_tdp(self._pdns.values(), tdps_w, application_ratio, workload_type)
+
+    def application_ratio_sweep(
+        self,
+        application_ratios: Sequence[float],
+        tdp_w: float,
+        workload_type: WorkloadType = WorkloadType.CPU_MULTI_THREAD,
+    ) -> List[Record]:
+        """ETEE sweep over application ratio for every instantiated PDN."""
+        return sweep_application_ratio(
+            self._pdns.values(), application_ratios, tdp_w, workload_type
+        )
+
+    def power_state_sweep(self, tdp_w: float) -> List[Record]:
+        """ETEE sweep over the battery-life power states."""
+        return sweep_power_states(self._pdns.values(), tdp_w)
+
+    # ------------------------------------------------------------------ #
+    # Performance, battery life, cost, area
+    # ------------------------------------------------------------------ #
+    def performance(
+        self, pdn_name: str, benchmark: Benchmark, tdp_w: float
+    ) -> PerformanceResult:
+        """Relative performance of a benchmark on one PDN (baseline-normalised)."""
+        return self._performance_model.evaluate(self.pdn(pdn_name), benchmark, tdp_w)
+
+    def compare_performance(
+        self, benchmarks: Iterable[Benchmark], tdp_w: float
+    ) -> Dict[str, float]:
+        """Suite-average relative performance of every PDN at one TDP."""
+        return self._performance_model.compare_pdns(
+            self._pdns.values(), benchmarks, tdp_w
+        )
+
+    def compare_battery_life_power(self, tdp_w: float = 18.0) -> Dict[str, Dict[str, float]]:
+        """Average power of the four battery-life workloads on every PDN.
+
+        Returns workload name -> PDN name -> average supply power (watts).
+        """
+        table: Dict[str, Dict[str, float]] = {}
+        for workload in BATTERY_LIFE_WORKLOADS:
+            table[workload.name] = {
+                name: workload.average_power_w(pdn, tdp_w)
+                for name, pdn in self._pdns.items()
+            }
+        return table
+
+    def compare_bom(self, tdp_w: float) -> Dict[str, float]:
+        """Normalised BOM of every PDN at one TDP (Fig. 8d)."""
+        return self._bom_model.compare(
+            self._pdns.values(), tdp_w, reference_name=self._baseline_name
+        )
+
+    def compare_board_area(self, tdp_w: float) -> Dict[str, float]:
+        """Normalised board area of every PDN at one TDP (Fig. 8e)."""
+        return self._area_model.compare(
+            self._pdns.values(), tdp_w, reference_name=self._baseline_name
+        )

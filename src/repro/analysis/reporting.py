@@ -1,0 +1,76 @@
+"""Plain-text table rendering.
+
+The benchmark harness and the examples print their results as aligned text
+tables (the library has no plotting dependency); this module contains the one
+formatting helper they share.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence, Union
+
+Cell = Union[str, float, int]
+
+
+def _format_cell(value: Cell, float_format: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    float_format: str = ".3f",
+    title: str = "",
+) -> str:
+    """Render ``rows`` as an aligned plain-text table.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Row values; floats are formatted with ``float_format``.
+    float_format:
+        Format spec applied to float cells.
+    title:
+        Optional title printed above the table.
+    """
+    formatted_rows = [
+        [_format_cell(cell, float_format) for cell in row] for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in formatted_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(header.ljust(width) for header, width in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in formatted_rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_mapping_table(
+    mapping: Mapping[str, Mapping[str, Cell]],
+    row_key_header: str = "row",
+    float_format: str = ".3f",
+    title: str = "",
+) -> str:
+    """Render a nested mapping (row -> column -> value) as a table."""
+    columns: list = []
+    for row_values in mapping.values():
+        for column in row_values:
+            if column not in columns:
+                columns.append(column)
+    headers = [row_key_header] + list(columns)
+    rows = []
+    for row_key, row_values in mapping.items():
+        rows.append([row_key] + [row_values.get(column, "") for column in columns])
+    return format_table(headers, rows, float_format=float_format, title=title)

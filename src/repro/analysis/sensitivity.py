@@ -1,0 +1,158 @@
+"""Parameter-sensitivity analysis.
+
+PDNspot's purpose is multi-dimensional design-space exploration (Sec. 3): a
+designer wants to know not only which PDN wins with today's Table-2
+parameters, but how robust that conclusion is to the parameters the technology
+team can still move -- tolerance bands, load-line impedances, the leakage
+exponent, the LDO current efficiency.
+
+:class:`SensitivityAnalysis` perturbs one named technology parameter at a time
+by a relative amount, re-evaluates every PDN at a chosen operating point, and
+reports the ETEE swing each PDN sees.  This powers the what-if sections of the
+design-space-exploration example and provides the quantitative backing for the
+"insensitive within the published ranges" claim the validation makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.pdn.base import OperatingConditions
+from repro.pdn.registry import available_pdns, build_pdn
+from repro.power.domains import WorkloadType
+from repro.power.parameters import PdnTechnologyParameters, default_parameters
+from repro.util.errors import ConfigurationError
+
+#: Scalar technology parameters that can be perturbed by name.
+PERTURBABLE_PARAMETERS: Sequence[str] = (
+    "ivr_tolerance_band_v",
+    "mbvr_tolerance_band_v",
+    "ldo_tolerance_band_v",
+    "ivr_input_loadline_ohm",
+    "ldo_input_loadline_ohm",
+    "leakage_exponent",
+    "ldo_current_efficiency",
+    "flexwatts_loadline_scale",
+    "ivr_input_voltage_v",
+)
+
+
+@dataclass(frozen=True)
+class SensitivityRecord:
+    """ETEE swing of one PDN for one perturbed parameter."""
+
+    pdn_name: str
+    parameter: str
+    relative_change: float
+    baseline_etee: float
+    perturbed_etee: float
+
+    @property
+    def etee_delta(self) -> float:
+        """Absolute ETEE change caused by the perturbation."""
+        return self.perturbed_etee - self.baseline_etee
+
+    @property
+    def sensitivity(self) -> float:
+        """ETEE change per unit of relative parameter change (d ETEE / d x)."""
+        if self.relative_change == 0.0:
+            return 0.0
+        return self.etee_delta / self.relative_change
+
+
+class SensitivityAnalysis:
+    """One-at-a-time parameter-sensitivity study over the PDN models."""
+
+    def __init__(
+        self,
+        parameters: Optional[PdnTechnologyParameters] = None,
+        pdn_names: Optional[Sequence[str]] = None,
+    ):
+        self._parameters = parameters if parameters is not None else default_parameters()
+        self._pdn_names = list(pdn_names) if pdn_names is not None else available_pdns()
+
+    @property
+    def pdn_names(self) -> List[str]:
+        """The PDN architectures included in the study."""
+        return list(self._pdn_names)
+
+    def _perturbed_parameters(
+        self, parameter: str, relative_change: float
+    ) -> PdnTechnologyParameters:
+        if parameter not in PERTURBABLE_PARAMETERS:
+            raise ConfigurationError(
+                f"unknown or non-scalar parameter {parameter!r}; "
+                f"perturbable: {', '.join(PERTURBABLE_PARAMETERS)}"
+            )
+        current = getattr(self._parameters, parameter)
+        perturbed = current * (1.0 + relative_change)
+        # Fraction-valued parameters (efficiencies) stay physical.
+        if parameter == "ldo_current_efficiency":
+            perturbed = min(1.0, max(0.0, perturbed))
+        return self._parameters.with_overrides(**{parameter: perturbed})
+
+    def perturb(
+        self,
+        parameter: str,
+        relative_change: float,
+        conditions: Optional[OperatingConditions] = None,
+    ) -> List[SensitivityRecord]:
+        """ETEE swing of every PDN when ``parameter`` moves by ``relative_change``.
+
+        Parameters
+        ----------
+        parameter:
+            Name of a scalar field of :class:`PdnTechnologyParameters`.
+        relative_change:
+            Fractional change applied to the parameter (e.g. ``0.1`` for +10 %).
+        conditions:
+            Operating point to evaluate at; defaults to the Fig. 5 point
+            (18 W, AR = 56 %, CPU-intensive).
+        """
+        if conditions is None:
+            conditions = OperatingConditions.for_active_workload(
+                18.0, 0.56, WorkloadType.CPU_MULTI_THREAD
+            )
+        perturbed_parameters = self._perturbed_parameters(parameter, relative_change)
+        records: List[SensitivityRecord] = []
+        for name in self._pdn_names:
+            baseline_etee = build_pdn(name, self._parameters).evaluate(conditions).etee
+            perturbed_etee = build_pdn(name, perturbed_parameters).evaluate(conditions).etee
+            records.append(
+                SensitivityRecord(
+                    pdn_name=name,
+                    parameter=parameter,
+                    relative_change=relative_change,
+                    baseline_etee=baseline_etee,
+                    perturbed_etee=perturbed_etee,
+                )
+            )
+        return records
+
+    def tornado(
+        self,
+        relative_change: float = 0.1,
+        parameters: Sequence[str] = PERTURBABLE_PARAMETERS,
+        conditions: Optional[OperatingConditions] = None,
+    ) -> Dict[str, Dict[str, float]]:
+        """Tornado-style summary: parameter -> PDN -> absolute ETEE swing.
+
+        The swing is the magnitude of the ETEE change for a symmetric
+        ``+/- relative_change`` perturbation (the larger of the two sides).
+        """
+        summary: Dict[str, Dict[str, float]] = {}
+        for parameter in parameters:
+            up = {r.pdn_name: abs(r.etee_delta) for r in self.perturb(parameter, relative_change, conditions)}
+            down = {r.pdn_name: abs(r.etee_delta) for r in self.perturb(parameter, -relative_change, conditions)}
+            summary[parameter] = {
+                name: max(up[name], down[name]) for name in up
+            }
+        return summary
+
+    def most_sensitive_parameter(
+        self, pdn_name: str, relative_change: float = 0.1
+    ) -> str:
+        """The parameter whose perturbation moves ``pdn_name``'s ETEE the most."""
+        summary = self.tornado(relative_change)
+        return max(summary, key=lambda parameter: summary[parameter].get(pdn_name, 0.0))

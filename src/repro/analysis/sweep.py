@@ -1,0 +1,106 @@
+"""Generic sweep helpers.
+
+The experiments and examples repeatedly need the same three sweeps: ETEE over
+TDP, ETEE over application ratio, and ETEE over package power state, for one
+or more PDN architectures.  Each helper returns a flat list of dictionaries
+(records) so the results can be tabulated, asserted against in tests, or
+post-processed with numpy without the library imposing a dataframe dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.pdn.base import OperatingConditions, PowerDeliveryNetwork
+from repro.power.domains import WorkloadType
+from repro.power.power_states import BATTERY_LIFE_STATES, PackageCState
+
+Record = Dict[str, object]
+
+
+def sweep_tdp(
+    pdns: Iterable[PowerDeliveryNetwork],
+    tdps_w: Sequence[float],
+    application_ratio: float = 0.56,
+    workload_type: WorkloadType = WorkloadType.CPU_MULTI_THREAD,
+) -> List[Record]:
+    """ETEE of each PDN at each TDP (fixed AR and workload type)."""
+    records: List[Record] = []
+    pdn_list = list(pdns)
+    for tdp_w in tdps_w:
+        conditions = OperatingConditions.for_active_workload(
+            tdp_w, application_ratio, workload_type
+        )
+        for pdn in pdn_list:
+            evaluation = pdn.evaluate(conditions)
+            records.append(
+                {
+                    "pdn": pdn.name,
+                    "tdp_w": tdp_w,
+                    "application_ratio": application_ratio,
+                    "workload_type": workload_type.value,
+                    "etee": evaluation.etee,
+                    "supply_power_w": evaluation.supply_power_w,
+                    "nominal_power_w": evaluation.nominal_power_w,
+                }
+            )
+    return records
+
+
+def sweep_application_ratio(
+    pdns: Iterable[PowerDeliveryNetwork],
+    application_ratios: Sequence[float],
+    tdp_w: float,
+    workload_type: WorkloadType = WorkloadType.CPU_MULTI_THREAD,
+) -> List[Record]:
+    """ETEE of each PDN across application ratios (fixed TDP and type)."""
+    records: List[Record] = []
+    pdn_list = list(pdns)
+    for application_ratio in application_ratios:
+        conditions = OperatingConditions.for_active_workload(
+            tdp_w, application_ratio, workload_type
+        )
+        for pdn in pdn_list:
+            evaluation = pdn.evaluate(conditions)
+            records.append(
+                {
+                    "pdn": pdn.name,
+                    "tdp_w": tdp_w,
+                    "application_ratio": application_ratio,
+                    "workload_type": workload_type.value,
+                    "etee": evaluation.etee,
+                    "supply_power_w": evaluation.supply_power_w,
+                    "nominal_power_w": evaluation.nominal_power_w,
+                }
+            )
+    return records
+
+
+def sweep_power_states(
+    pdns: Iterable[PowerDeliveryNetwork],
+    tdp_w: float,
+    power_states: Sequence[PackageCState] = BATTERY_LIFE_STATES,
+) -> List[Record]:
+    """ETEE of each PDN across the battery-life package power states."""
+    records: List[Record] = []
+    pdn_list = list(pdns)
+    for state in power_states:
+        conditions = OperatingConditions.for_power_state(tdp_w, state)
+        for pdn in pdn_list:
+            evaluation = pdn.evaluate(conditions)
+            records.append(
+                {
+                    "pdn": pdn.name,
+                    "tdp_w": tdp_w,
+                    "power_state": state.value,
+                    "etee": evaluation.etee,
+                    "supply_power_w": evaluation.supply_power_w,
+                    "nominal_power_w": evaluation.nominal_power_w,
+                }
+            )
+    return records
+
+
+def records_for_pdn(records: Iterable[Record], pdn_name: str) -> List[Record]:
+    """Filter sweep records down to one PDN."""
+    return [record for record in records if record["pdn"] == pdn_name]

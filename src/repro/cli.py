@@ -1,0 +1,170 @@
+"""Command-line interface for the FlexWatts / PDNspot reproduction.
+
+The CLI exposes the most common analyses without writing any Python::
+
+    python -m repro etee --tdp 4 --workload cpu_multi_thread
+    python -m repro performance --tdp 4 --suite spec
+    python -m repro battery-life
+    python -m repro cost --tdp 18
+    python -m repro figures --quick
+    python -m repro predict --tdp 50 --ar 0.6 --workload graphics
+
+Every sub-command prints a plain-text table (no plotting dependency), the same
+tables the experiment drivers and examples produce.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from repro.analysis.pdnspot import PdnSpot
+from repro.analysis.reporting import format_mapping_table, format_table
+from repro.core.hybrid_vr import PdnMode
+from repro.core.runtime_estimator import RuntimeInputEstimator
+from repro.pdn.base import OperatingConditions
+from repro.power.domains import WorkloadType
+from repro.workloads.graphics import THREEDMARK06_BENCHMARKS
+from repro.workloads.spec_cpu2006 import SPEC_CPU2006_BENCHMARKS
+
+PDN_ORDER = ("IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts")
+
+
+def _workload_type(name: str) -> WorkloadType:
+    try:
+        return WorkloadType(name)
+    except ValueError as error:
+        valid = ", ".join(member.value for member in WorkloadType)
+        raise argparse.ArgumentTypeError(f"unknown workload type {name!r}; choose from: {valid}") from error
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FlexWatts / PDNspot reproduction command-line interface",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    etee = subparsers.add_parser("etee", help="compare ETEE across PDNs at one operating point")
+    etee.add_argument("--tdp", type=float, default=18.0, help="thermal design power in watts")
+    etee.add_argument("--ar", type=float, default=0.56, help="application ratio (0-1]")
+    etee.add_argument(
+        "--workload", type=_workload_type, default=WorkloadType.CPU_MULTI_THREAD,
+        help="workload type (cpu_single_thread, cpu_multi_thread, graphics)",
+    )
+
+    performance = subparsers.add_parser(
+        "performance", help="suite-average performance normalised to the IVR PDN"
+    )
+    performance.add_argument("--tdp", type=float, default=4.0)
+    performance.add_argument(
+        "--suite", choices=("spec", "3dmark"), default="spec", help="benchmark suite"
+    )
+
+    subparsers.add_parser("battery-life", help="battery-life average power per PDN")
+
+    cost = subparsers.add_parser("cost", help="BOM and board area normalised to the IVR PDN")
+    cost.add_argument("--tdp", type=float, default=18.0)
+
+    figures = subparsers.add_parser("figures", help="regenerate every paper figure")
+    figures.add_argument(
+        "--quick", action="store_true", help="skip the (slow) Fig. 4 validation grid"
+    )
+
+    predict = subparsers.add_parser(
+        "predict", help="show the FlexWatts mode Algorithm 1 selects for an operating point"
+    )
+    predict.add_argument("--tdp", type=float, default=18.0)
+    predict.add_argument("--ar", type=float, default=0.56)
+    predict.add_argument("--workload", type=_workload_type, default=WorkloadType.CPU_MULTI_THREAD)
+
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# Sub-command implementations (each returns the text it prints, for testing)
+# --------------------------------------------------------------------------- #
+def run_etee(spot: PdnSpot, tdp_w: float, ar: float, workload: WorkloadType) -> str:
+    table = spot.compare_etee(tdp_w=tdp_w, application_ratio=ar, workload_type=workload)
+    rows = [[name, table[name]] for name in PDN_ORDER if name in table]
+    return format_table(
+        ["PDN", "ETEE"], rows, title=f"ETEE at {tdp_w:g} W, AR={ar:g}, {workload.value}"
+    )
+
+
+def run_performance(spot: PdnSpot, tdp_w: float, suite: str) -> str:
+    benchmarks = SPEC_CPU2006_BENCHMARKS if suite == "spec" else THREEDMARK06_BENCHMARKS
+    table = spot.compare_performance(benchmarks, tdp_w)
+    rows = [[name, table[name]] for name in PDN_ORDER if name in table]
+    return format_table(
+        ["PDN", "perf vs IVR"],
+        rows,
+        title=f"{'SPEC CPU2006' if suite == 'spec' else '3DMark06'} at {tdp_w:g} W",
+    )
+
+
+def run_battery_life(spot: PdnSpot) -> str:
+    return format_mapping_table(
+        spot.compare_battery_life_power(),
+        row_key_header="workload",
+        title="Battery-life average power (W)",
+    )
+
+
+def run_cost(spot: PdnSpot, tdp_w: float) -> str:
+    bom = spot.compare_bom(tdp_w)
+    area = spot.compare_board_area(tdp_w)
+    rows = [[name, bom[name], area[name]] for name in PDN_ORDER if name in bom]
+    return format_table(
+        ["PDN", "BOM vs IVR", "area vs IVR"], rows, title=f"Cost and board area at {tdp_w:g} W"
+    )
+
+
+def run_figures(quick: bool) -> str:
+    from repro.experiments.runner import run_all_experiments
+
+    outputs = run_all_experiments(include_validation=not quick)
+    sections = []
+    for key in sorted(outputs):
+        sections.append(f"===== {key} =====\n{outputs[key]}")
+    return "\n\n".join(sections)
+
+
+def run_predict(spot: PdnSpot, tdp_w: float, ar: float, workload: WorkloadType) -> str:
+    flexwatts = spot.pdn("FlexWatts")
+    conditions = OperatingConditions.for_active_workload(tdp_w, ar, workload)
+    telemetry = RuntimeInputEstimator.estimate_from_conditions(conditions)
+    mode = flexwatts.predict_mode_from_telemetry(telemetry)
+    predictor = flexwatts.predictor
+    rows = [
+        ["selected mode", mode.value],
+        ["IVR-Mode ETEE estimate", predictor.estimate_etee(PdnMode.IVR_MODE, telemetry)],
+        ["LDO-Mode ETEE estimate", predictor.estimate_etee(PdnMode.LDO_MODE, telemetry)],
+    ]
+    return format_table(
+        ["quantity", "value"],
+        rows,
+        title=f"Algorithm 1 at {tdp_w:g} W, AR={ar:g}, {workload.value}",
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "figures":
+        print(run_figures(args.quick))
+        return 0
+    spot = PdnSpot()
+    if args.command == "etee":
+        print(run_etee(spot, args.tdp, args.ar, args.workload))
+    elif args.command == "performance":
+        print(run_performance(spot, args.tdp, args.suite))
+    elif args.command == "battery-life":
+        print(run_battery_life(spot))
+    elif args.command == "cost":
+        print(run_cost(spot, args.tdp))
+    elif args.command == "predict":
+        print(run_predict(spot, args.tdp, args.ar, args.workload))
+    return 0

@@ -1,0 +1,97 @@
+"""Calibration of the FlexWatts mode-prediction tables.
+
+A shipping product would populate the PMU's ETEE curve tables from pre-silicon
+power models and post-silicon characterisation.  Here the tables are populated
+from PDNspot itself: the hybrid PDN is evaluated with each mode forced across
+a grid of (workload type, TDP, application ratio) operating points and across
+the package power states, and the resulting ETEE curves are stored in an
+:class:`~repro.core.mode_predictor.EteeCurveSet` per mode.
+
+The grid defaults match the paper's evaluation space: TDPs of 4--50 W,
+application ratios of 40--80 %, the three active workload types, and the
+battery-life power states C0_MIN and C2--C8.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.hybrid_vr import PdnMode
+from repro.core.mode_predictor import EteeCurveSet, ModePredictor
+from repro.pdn.base import OperatingConditions
+from repro.power.domains import WorkloadType
+from repro.power.power_states import BATTERY_LIFE_STATES, PackageCState
+
+#: Default TDP grid (watts) -- the TDP levels evaluated throughout the paper.
+DEFAULT_TDP_GRID_W: Sequence[float] = (4.0, 8.0, 10.0, 18.0, 25.0, 36.0, 50.0)
+
+#: Default application-ratio grid -- the 40--80 % range of Fig. 4.
+DEFAULT_AR_GRID: Sequence[float] = (0.40, 0.50, 0.56, 0.60, 0.70, 0.80)
+
+#: Workload types with active (C0) ETEE curves.
+ACTIVE_WORKLOAD_TYPES: Sequence[WorkloadType] = (
+    WorkloadType.CPU_SINGLE_THREAD,
+    WorkloadType.CPU_MULTI_THREAD,
+    WorkloadType.GRAPHICS,
+)
+
+#: Reference TDP at which the power-state curves are characterised.  Package
+#: C-state power is nearly TDP-independent (Sec. 7.1), so one curve suffices.
+POWER_STATE_REFERENCE_TDP_W = 18.0
+
+
+def calibrate_mode_curves(
+    flexwatts,
+    mode: PdnMode,
+    tdp_grid_w: Sequence[float] = DEFAULT_TDP_GRID_W,
+    ar_grid: Sequence[float] = DEFAULT_AR_GRID,
+    power_states: Sequence[PackageCState] = BATTERY_LIFE_STATES,
+) -> EteeCurveSet:
+    """Build the ETEE curve set of one hybrid-PDN mode.
+
+    Parameters
+    ----------
+    flexwatts:
+        The :class:`~repro.core.flexwatts.FlexWattsPdn` instance to
+        characterise (its Table-2 parameters are what get baked into the
+        tables).
+    mode:
+        The hybrid-PDN mode to characterise.
+    tdp_grid_w / ar_grid / power_states:
+        The characterisation grid.
+    """
+    curves = EteeCurveSet()
+    for workload_type in ACTIVE_WORKLOAD_TYPES:
+        for tdp_w in tdp_grid_w:
+            etees = []
+            for ar in ar_grid:
+                conditions = OperatingConditions.for_active_workload(
+                    tdp_w=tdp_w, application_ratio=ar, workload_type=workload_type
+                )
+                etees.append(flexwatts.evaluate_in_mode(conditions, mode).etee)
+            curves.add_active_curve(workload_type, tdp_w, ar_grid, etees)
+    for state in power_states:
+        conditions = OperatingConditions.for_power_state(
+            POWER_STATE_REFERENCE_TDP_W, state
+        )
+        curves.add_power_state_etee(
+            state, flexwatts.evaluate_in_mode(conditions, mode).etee
+        )
+    return curves
+
+
+def build_default_predictor(
+    flexwatts,
+    tdp_grid_w: Sequence[float] = DEFAULT_TDP_GRID_W,
+    ar_grid: Sequence[float] = DEFAULT_AR_GRID,
+    power_states: Optional[Sequence[PackageCState]] = None,
+) -> ModePredictor:
+    """Build the Algorithm-1 predictor for a FlexWatts instance."""
+    states = tuple(power_states) if power_states is not None else BATTERY_LIFE_STATES
+    ivr_curves = calibrate_mode_curves(
+        flexwatts, PdnMode.IVR_MODE, tdp_grid_w, ar_grid, states
+    )
+    ldo_curves = calibrate_mode_curves(
+        flexwatts, PdnMode.LDO_MODE, tdp_grid_w, ar_grid, states
+    )
+    return ModePredictor(ivr_curves=ivr_curves, ldo_curves=ldo_curves)

@@ -1,0 +1,169 @@
+"""FlexWatts' runtime mode-prediction algorithm (Algorithm 1).
+
+The predictor stores two sets of ETEE curves inside the PMU firmware -- one
+describing the hybrid PDN in IVR-Mode and one in LDO-Mode.  Each set is a
+multi-dimensional table: for every (workload type, TDP) pair an ETEE-vs-AR
+curve, plus one ETEE value per package power state for the battery-life
+states.  Every evaluation interval (~10 ms) the PMU estimates the algorithm's
+inputs (TDP, AR, workload type, power state), looks up the expected ETEE of
+each mode, and selects the mode with the higher ETEE::
+
+    IVR_ETEE = estimate_IVR_ETEE(TDP, AR, WL_TYPE, PS)
+    LDO_ETEE = estimate_LDO_ETEE(TDP, AR, WL_TYPE, PS)
+    return IVR-Mode if IVR_ETEE >= LDO_ETEE else LDO-Mode
+
+The curve tables are populated by :mod:`repro.core.calibration`, mirroring how
+a real product would populate them from pre-silicon models or post-silicon
+characterisation.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.power.domains import WorkloadType
+from repro.power.power_states import PackageCState
+from repro.soc.pmu import PmuTelemetry
+from repro.core.hybrid_vr import PdnMode
+from repro.util.errors import ConfigurationError, ModelDomainError
+from repro.util.interpolate import LinearTable1D
+from repro.util.validation import require_fraction, require_positive
+
+
+@dataclass
+class EteeCurveSet:
+    """Firmware-style ETEE curve tables for one hybrid-PDN mode.
+
+    The active-workload tables are keyed by workload type and TDP; queries at
+    TDPs between two stored curves interpolate linearly between them, and
+    queries outside the stored range clamp to the nearest curve (the same
+    behaviour a PMU table lookup has).
+    """
+
+    #: workload type -> sorted list of (tdp_w, AR->ETEE curve).
+    active_curves: Dict[WorkloadType, List[Tuple[float, LinearTable1D]]] = field(
+        default_factory=dict
+    )
+    #: package power state -> ETEE.
+    power_state_etee: Dict[PackageCState, float] = field(default_factory=dict)
+
+    def add_active_curve(
+        self,
+        workload_type: WorkloadType,
+        tdp_w: float,
+        application_ratios: Sequence[float],
+        etees: Sequence[float],
+    ) -> None:
+        """Store the ETEE-vs-AR curve for (``workload_type``, ``tdp_w``)."""
+        require_positive(tdp_w, "tdp_w")
+        curve = LinearTable1D(application_ratios, etees)
+        curves = self.active_curves.setdefault(workload_type, [])
+        curves.append((tdp_w, curve))
+        curves.sort(key=lambda item: item[0])
+
+    def add_power_state_etee(self, state: PackageCState, etee: float) -> None:
+        """Store the ETEE of a package power state."""
+        self.power_state_etee[state] = require_fraction(etee, "etee")
+
+    def etee(
+        self,
+        tdp_w: float,
+        application_ratio: float,
+        workload_type: WorkloadType,
+        power_state: PackageCState,
+    ) -> float:
+        """Look up the expected ETEE for the given Algorithm-1 inputs."""
+        if power_state.is_idle or workload_type is WorkloadType.IDLE:
+            return self._power_state_lookup(power_state)
+        return self._active_lookup(tdp_w, application_ratio, workload_type)
+
+    # ------------------------------------------------------------------ #
+    # Internal lookups
+    # ------------------------------------------------------------------ #
+    def _power_state_lookup(self, power_state: PackageCState) -> float:
+        if power_state in self.power_state_etee:
+            return self.power_state_etee[power_state]
+        # C0/C0_MIN idle-classified workloads fall back to the shallowest
+        # stored idle state.
+        if self.power_state_etee:
+            shallowest = sorted(self.power_state_etee, key=lambda state: state.value)[0]
+            return self.power_state_etee[shallowest]
+        raise ModelDomainError("no power-state ETEE curves stored in this curve set")
+
+    def _active_lookup(
+        self, tdp_w: float, application_ratio: float, workload_type: WorkloadType
+    ) -> float:
+        if workload_type not in self.active_curves or not self.active_curves[workload_type]:
+            raise ModelDomainError(
+                f"no ETEE curves stored for workload type {workload_type}"
+            )
+        curves = self.active_curves[workload_type]
+        tdps = [tdp for tdp, _ in curves]
+        if tdp_w <= tdps[0]:
+            return curves[0][1](application_ratio)
+        if tdp_w >= tdps[-1]:
+            return curves[-1][1](application_ratio)
+        hi = bisect_left(tdps, tdp_w)
+        lo = hi - 1
+        low_tdp, low_curve = curves[lo]
+        high_tdp, high_curve = curves[hi]
+        weight = (tdp_w - low_tdp) / (high_tdp - low_tdp)
+        return low_curve(application_ratio) * (1.0 - weight) + high_curve(
+            application_ratio
+        ) * weight
+
+    def stored_tdps_w(self, workload_type: WorkloadType) -> List[float]:
+        """TDP grid points stored for ``workload_type`` (for introspection)."""
+        return [tdp for tdp, _ in self.active_curves.get(workload_type, [])]
+
+
+class ModePredictor:
+    """Algorithm 1: choose the hybrid-PDN mode with the higher expected ETEE."""
+
+    def __init__(self, ivr_curves: EteeCurveSet, ldo_curves: EteeCurveSet):
+        if not ivr_curves.active_curves and not ivr_curves.power_state_etee:
+            raise ConfigurationError("the IVR-Mode curve set is empty")
+        if not ldo_curves.active_curves and not ldo_curves.power_state_etee:
+            raise ConfigurationError("the LDO-Mode curve set is empty")
+        self._ivr_curves = ivr_curves
+        self._ldo_curves = ldo_curves
+
+    @property
+    def ivr_curves(self) -> EteeCurveSet:
+        """The stored IVR-Mode ETEE curves."""
+        return self._ivr_curves
+
+    @property
+    def ldo_curves(self) -> EteeCurveSet:
+        """The stored LDO-Mode ETEE curves."""
+        return self._ldo_curves
+
+    def estimate_etee(self, mode: PdnMode, telemetry: PmuTelemetry) -> float:
+        """Expected ETEE of ``mode`` for the given telemetry."""
+        curves = self._ivr_curves if mode is PdnMode.IVR_MODE else self._ldo_curves
+        return curves.etee(
+            tdp_w=telemetry.tdp_w,
+            application_ratio=telemetry.application_ratio,
+            workload_type=telemetry.workload_type,
+            power_state=telemetry.power_state,
+        )
+
+    def predict(self, telemetry: PmuTelemetry) -> PdnMode:
+        """Algorithm 1: return the mode with the higher expected ETEE.
+
+        Ties resolve to IVR-Mode, exactly as in the paper's pseudocode
+        (``if IVR_ETEE >= LDO_ETEE return IVR-Mode``).
+        """
+        ivr_etee = self.estimate_etee(PdnMode.IVR_MODE, telemetry)
+        ldo_etee = self.estimate_etee(PdnMode.LDO_MODE, telemetry)
+        if ivr_etee >= ldo_etee:
+            return PdnMode.IVR_MODE
+        return PdnMode.LDO_MODE
+
+    def predicted_gain(self, telemetry: PmuTelemetry) -> float:
+        """Expected ETEE advantage of the chosen mode over the other one."""
+        ivr_etee = self.estimate_etee(PdnMode.IVR_MODE, telemetry)
+        ldo_etee = self.estimate_etee(PdnMode.LDO_MODE, telemetry)
+        return abs(ivr_etee - ldo_etee)

@@ -1,0 +1,61 @@
+"""Runtime estimation of the mode-prediction algorithm's inputs.
+
+Algorithm 1 needs four inputs every evaluation interval: the configured TDP,
+the application ratio, the workload type, and the package power state.
+Sec. 6 describes where each comes from in a real part:
+
+* the runtime-configured TDP (cTDP) is always known to the PMU,
+* the AR is estimated from calibrated activity sensors in every domain,
+* the workload type is classified from which domains are active, and
+* the package power state is known because the PMU performs the transitions.
+
+:class:`RuntimeInputEstimator` packages those estimates, either live from a
+:class:`~repro.soc.pmu.PowerManagementUnit` (full-system simulation) or
+directly from an :class:`~repro.pdn.base.OperatingConditions` operating point
+(analytic studies, where the "estimate" is exact).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.pdn.base import OperatingConditions
+from repro.soc.pmu import PmuTelemetry, PowerManagementUnit
+from repro.util.errors import ConfigurationError
+
+
+class RuntimeInputEstimator:
+    """Produces :class:`PmuTelemetry` snapshots for the mode predictor."""
+
+    def __init__(self, pmu: Optional[PowerManagementUnit] = None):
+        self._pmu = pmu
+
+    @property
+    def pmu(self) -> Optional[PowerManagementUnit]:
+        """The PMU this estimator reads from, when attached to one."""
+        return self._pmu
+
+    def estimate(self) -> PmuTelemetry:
+        """Live estimate from the attached PMU's sensors and state machines."""
+        if self._pmu is None:
+            raise ConfigurationError(
+                "no PMU attached; use estimate_from_conditions for analytic studies"
+            )
+        return self._pmu.telemetry()
+
+    @staticmethod
+    def estimate_from_conditions(conditions: OperatingConditions) -> PmuTelemetry:
+        """Exact telemetry derived from an analytic operating point.
+
+        Used by the PDNspot experiments, where the operating point is known by
+        construction, so the estimator is an oracle.  The paper's runtime
+        sensors approximate the same quantities within a few percent; the
+        sensitivity of the predictor to estimation error is explored by the
+        ``adaptive_runtime`` example and the robustness tests.
+        """
+        return PmuTelemetry(
+            tdp_w=conditions.tdp_w,
+            application_ratio=conditions.application_ratio,
+            workload_type=conditions.workload_type,
+            power_state=conditions.power_state,
+        )

@@ -1,0 +1,98 @@
+"""Board-area model (Sec. 3.2, Fig. 8e).
+
+Like the BOM model, board area is driven by each off-chip regulator's Iccmax:
+a higher current rating needs more phases, larger inductors and more input /
+output capacitance.  Discrete (VRM) solutions additionally pay a per-rail
+placement overhead that a PMIC amortises across its integrated rails.
+
+Areas are expressed in square millimetres of board space; as with cost, the
+paper's conclusions rest on the *relative* areas (Fig. 8e normalises to IVR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from repro.cost.bom import PMIC_TDP_LIMIT_W
+from repro.pdn.base import PowerDeliveryNetwork
+from repro.util.validation import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class BoardAreaEstimate:
+    """Board-area estimate of one PDN at one TDP (mm^2)."""
+
+    pdn_name: str
+    tdp_w: float
+    uses_pmic: bool
+    rail_areas_mm2: Dict[str, float]
+
+    @property
+    def total_area_mm2(self) -> float:
+        """Total board area used by the PDN's off-chip regulators."""
+        return sum(self.rail_areas_mm2.values())
+
+    def normalised_to(self, reference: "BoardAreaEstimate") -> float:
+        """This PDN's area relative to ``reference`` (the Fig. 8e metric)."""
+        if reference.total_area_mm2 <= 0.0:
+            raise ValueError("reference area must be positive")
+        return self.total_area_mm2 / reference.total_area_mm2
+
+
+@dataclass(frozen=True)
+class BoardAreaModel:
+    """Iccmax -> board-area mapping with a PMIC/VRM split."""
+
+    pmic_rail_adder_mm2: float = 8.0
+    vrm_rail_adder_mm2: float = 60.0
+    pmic_area_per_amp_mm2: float = 16.0
+    vrm_area_per_amp_mm2: float = 14.0
+    pmic_base_area_mm2: float = 30.0
+    pmic_tdp_limit_w: float = PMIC_TDP_LIMIT_W
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.pmic_rail_adder_mm2, "pmic_rail_adder_mm2")
+        require_non_negative(self.vrm_rail_adder_mm2, "vrm_rail_adder_mm2")
+        require_non_negative(self.pmic_area_per_amp_mm2, "pmic_area_per_amp_mm2")
+        require_non_negative(self.vrm_area_per_amp_mm2, "vrm_area_per_amp_mm2")
+        require_non_negative(self.pmic_base_area_mm2, "pmic_base_area_mm2")
+        require_positive(self.pmic_tdp_limit_w, "pmic_tdp_limit_w")
+
+    def uses_pmic(self, tdp_w: float) -> bool:
+        """Whether a platform at ``tdp_w`` integrates its regulators in a PMIC."""
+        require_positive(tdp_w, "tdp_w")
+        return tdp_w <= self.pmic_tdp_limit_w
+
+    def rail_area_mm2(self, iccmax_a: float, tdp_w: float) -> float:
+        """Board area of one regulator rail designed for ``iccmax_a``."""
+        require_non_negative(iccmax_a, "iccmax_a")
+        if self.uses_pmic(tdp_w):
+            return self.pmic_rail_adder_mm2 + self.pmic_area_per_amp_mm2 * iccmax_a
+        return self.vrm_rail_adder_mm2 + self.vrm_area_per_amp_mm2 * iccmax_a
+
+    def estimate(self, pdn: PowerDeliveryNetwork, tdp_w: float) -> BoardAreaEstimate:
+        """Board-area estimate of ``pdn`` at ``tdp_w``."""
+        requirements = pdn.iccmax_requirements_a(tdp_w)
+        uses_pmic = self.uses_pmic(tdp_w)
+        rail_areas = {
+            rail: self.rail_area_mm2(iccmax_a, tdp_w)
+            for rail, iccmax_a in requirements.items()
+        }
+        if uses_pmic:
+            rail_areas["pmic_base"] = self.pmic_base_area_mm2
+        return BoardAreaEstimate(
+            pdn_name=pdn.name, tdp_w=tdp_w, uses_pmic=uses_pmic, rail_areas_mm2=rail_areas
+        )
+
+    def compare(
+        self, pdns: Iterable[PowerDeliveryNetwork], tdp_w: float, reference_name: str = "IVR"
+    ) -> Dict[str, float]:
+        """Normalised board area of several PDNs at ``tdp_w`` (Fig. 8e rows)."""
+        estimates = {pdn.name: self.estimate(pdn, tdp_w) for pdn in pdns}
+        if reference_name not in estimates:
+            raise ValueError(f"reference PDN {reference_name!r} not among the compared PDNs")
+        reference = estimates[reference_name]
+        return {
+            name: estimate.normalised_to(reference) for name, estimate in estimates.items()
+        }

@@ -1,0 +1,113 @@
+"""Bill-of-materials (BOM) model (Sec. 3.2, Fig. 8d).
+
+The paper maps each off-chip regulator's Iccmax to a cost using vendor data
+(Texas Instruments DC-DC regulator catalogue) and assumes a PMIC-based
+solution for TDPs up to 18 W and discrete VRMs above that.  The mapping is
+behavioural here: each rail costs a small fixed adder (controller, packaging,
+passives) plus a per-amp component; VRM rails have a larger fixed adder than
+PMIC rails because every rail is a separate physical module.
+
+Only *relative* costs matter for the paper's conclusions (Fig. 8d normalises
+to IVR), so costs are expressed in arbitrary units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from repro.pdn.base import PowerDeliveryNetwork
+from repro.util.validation import require_non_negative, require_positive
+
+#: TDP above which platforms use discrete VRMs instead of a PMIC (Sec. 3.2).
+PMIC_TDP_LIMIT_W = 18.0
+
+
+@dataclass(frozen=True)
+class BomEstimate:
+    """BOM estimate of one PDN at one TDP (arbitrary cost units)."""
+
+    pdn_name: str
+    tdp_w: float
+    uses_pmic: bool
+    rail_costs: Dict[str, float]
+
+    @property
+    def total_cost(self) -> float:
+        """Total PDN BOM cost."""
+        return sum(self.rail_costs.values())
+
+    def normalised_to(self, reference: "BomEstimate") -> float:
+        """This PDN's cost relative to ``reference`` (the Fig. 8d metric)."""
+        if reference.total_cost <= 0.0:
+            raise ValueError("reference BOM cost must be positive")
+        return self.total_cost / reference.total_cost
+
+
+@dataclass(frozen=True)
+class BomModel:
+    """Iccmax -> cost mapping with a PMIC/VRM split.
+
+    Attributes
+    ----------
+    pmic_rail_adder / vrm_rail_adder:
+        Fixed cost per regulator rail for PMIC-integrated and discrete (VRM)
+        solutions respectively.
+    pmic_cost_per_amp / vrm_cost_per_amp:
+        Incremental cost per amp of Iccmax.
+    pmic_base_cost:
+        Cost of the PMIC die/package itself, shared by all its rails.
+    """
+
+    pmic_rail_adder: float = 0.06
+    vrm_rail_adder: float = 0.35
+    pmic_cost_per_amp: float = 0.18
+    vrm_cost_per_amp: float = 0.16
+    pmic_base_cost: float = 0.25
+    pmic_tdp_limit_w: float = PMIC_TDP_LIMIT_W
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.pmic_rail_adder, "pmic_rail_adder")
+        require_non_negative(self.vrm_rail_adder, "vrm_rail_adder")
+        require_non_negative(self.pmic_cost_per_amp, "pmic_cost_per_amp")
+        require_non_negative(self.vrm_cost_per_amp, "vrm_cost_per_amp")
+        require_non_negative(self.pmic_base_cost, "pmic_base_cost")
+        require_positive(self.pmic_tdp_limit_w, "pmic_tdp_limit_w")
+
+    def uses_pmic(self, tdp_w: float) -> bool:
+        """Whether a platform at ``tdp_w`` integrates its regulators in a PMIC."""
+        require_positive(tdp_w, "tdp_w")
+        return tdp_w <= self.pmic_tdp_limit_w
+
+    def rail_cost(self, iccmax_a: float, tdp_w: float) -> float:
+        """Cost of one regulator rail designed for ``iccmax_a``."""
+        require_non_negative(iccmax_a, "iccmax_a")
+        if self.uses_pmic(tdp_w):
+            return self.pmic_rail_adder + self.pmic_cost_per_amp * iccmax_a
+        return self.vrm_rail_adder + self.vrm_cost_per_amp * iccmax_a
+
+    def estimate(self, pdn: PowerDeliveryNetwork, tdp_w: float) -> BomEstimate:
+        """BOM estimate of ``pdn`` at ``tdp_w``."""
+        requirements = pdn.iccmax_requirements_a(tdp_w)
+        uses_pmic = self.uses_pmic(tdp_w)
+        rail_costs = {
+            rail: self.rail_cost(iccmax_a, tdp_w)
+            for rail, iccmax_a in requirements.items()
+        }
+        if uses_pmic:
+            rail_costs["pmic_base"] = self.pmic_base_cost
+        return BomEstimate(
+            pdn_name=pdn.name, tdp_w=tdp_w, uses_pmic=uses_pmic, rail_costs=rail_costs
+        )
+
+    def compare(
+        self, pdns: Iterable[PowerDeliveryNetwork], tdp_w: float, reference_name: str = "IVR"
+    ) -> Dict[str, float]:
+        """Normalised BOM of several PDNs at ``tdp_w`` (Fig. 8d rows)."""
+        estimates = {pdn.name: self.estimate(pdn, tdp_w) for pdn in pdns}
+        if reference_name not in estimates:
+            raise ValueError(f"reference PDN {reference_name!r} not among the compared PDNs")
+        reference = estimates[reference_name]
+        return {
+            name: estimate.normalised_to(reference) for name, estimate in estimates.items()
+        }

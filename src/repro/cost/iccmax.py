@@ -1,0 +1,33 @@
+"""Iccmax aggregation helpers.
+
+Every PDN model reports, per off-chip regulator, the maximum current that
+regulator must be electrically designed to support
+(:meth:`~repro.pdn.base.PowerDeliveryNetwork.iccmax_requirements_a`).  The
+cost and area models consume those requirements; this module provides small
+helpers to collect and summarise them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.pdn.base import PowerDeliveryNetwork
+from repro.util.validation import require_positive
+
+
+def total_iccmax_a(pdn: PowerDeliveryNetwork, tdp_w: float) -> float:
+    """Total off-chip Iccmax (amps) a PDN requires at ``tdp_w``.
+
+    Sharing regulators across domains reduces this total (Sec. 3.2), which is
+    the root cause of the IVR/FlexWatts cost advantage over MBVR and LDO.
+    """
+    require_positive(tdp_w, "tdp_w")
+    return sum(pdn.iccmax_requirements_a(tdp_w).values())
+
+
+def pdn_iccmax_summary(
+    pdns: Iterable[PowerDeliveryNetwork], tdp_w: float
+) -> Dict[str, Dict[str, float]]:
+    """Per-PDN, per-rail Iccmax requirements at ``tdp_w``."""
+    require_positive(tdp_w, "tdp_w")
+    return {pdn.name: dict(pdn.iccmax_requirements_a(tdp_w)) for pdn in pdns}

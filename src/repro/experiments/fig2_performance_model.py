@@ -1,0 +1,98 @@
+"""Experiment E-FIG2: the performance-model figures (Fig. 2a and Fig. 2b).
+
+Fig. 2(a): the additional power budget required to raise the CPU (graphics)
+clock frequency by 1 % at each TDP -- about 9 mW at a 4 W TDP, growing to
+hundreds of milliwatts at 50 W.
+
+Fig. 2(b): the fraction of each TDP's budget allocated to SA+IO, the CPU
+cores, the LLC, and lost inside the PDN, using the worst-loss commonly-used
+PDN at each TDP.  The CPU share grows from ~13 % at 4 W to ~52 % at 50 W while
+the PDN loss stays at 25 % or more.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.perf.budget_breakdown import budget_breakdown_for_tdp, worst_case_pdn_loss
+from repro.perf.frequency_sensitivity import FrequencySensitivityModel
+from repro.util.units import watts_to_milliwatts
+
+#: The TDP levels shown on the Fig. 2 x-axis.
+FIG2_TDPS_W: Sequence[float] = (4.0, 8.0, 10.0, 18.0, 25.0, 36.0, 50.0)
+
+
+def frequency_sensitivity_table(tdps_w: Sequence[float] = FIG2_TDPS_W) -> List[Dict[str, float]]:
+    """Fig. 2(a): milliwatts needed for a +1 % frequency step, per TDP."""
+    model = FrequencySensitivityModel()
+    records: List[Dict[str, float]] = []
+    for tdp_w in tdps_w:
+        records.append(
+            {
+                "tdp_w": tdp_w,
+                "cpu_mw_per_percent": watts_to_milliwatts(
+                    model.cpu_power_for_one_percent_w(tdp_w)
+                ),
+                "gfx_mw_per_percent": watts_to_milliwatts(
+                    model.gfx_power_for_one_percent_w(tdp_w)
+                ),
+            }
+        )
+    return records
+
+
+def budget_breakdown_table(tdps_w: Sequence[float] = FIG2_TDPS_W) -> List[Dict[str, float]]:
+    """Fig. 2(b): budget breakdown fractions per TDP (worst-loss PDN)."""
+    records: List[Dict[str, float]] = []
+    for tdp_w in tdps_w:
+        split = budget_breakdown_for_tdp(tdp_w)
+        fractions = split.as_fractions()
+        losses = worst_case_pdn_loss(tdp_w)
+        records.append(
+            {
+                "tdp_w": tdp_w,
+                "sa_io_fraction": fractions["sa_io"],
+                "cpu_fraction": fractions["cpu"],
+                "llc_fraction": fractions["llc"],
+                "pdn_loss_fraction": fractions["pdn_loss"],
+                "worst_pdn": losses["worst"],
+            }
+        )
+    return records
+
+
+def format_figure2a(records: List[Dict[str, float]] = None) -> str:
+    """Render the Fig. 2(a) table."""
+    records = records if records is not None else frequency_sensitivity_table()
+    rows = [
+        [r["tdp_w"], r["cpu_mw_per_percent"], r["gfx_mw_per_percent"]] for r in records
+    ]
+    return format_table(
+        ["TDP (W)", "CPU (mW / +1% f)", "GFX (mW / +1% f)"],
+        rows,
+        float_format=".1f",
+        title="Fig. 2(a) - power budget for a 1% frequency increase",
+    )
+
+
+def format_figure2b(records: List[Dict[str, float]] = None) -> str:
+    """Render the Fig. 2(b) table."""
+    records = records if records is not None else budget_breakdown_table()
+    rows = [
+        [
+            r["tdp_w"],
+            r["sa_io_fraction"],
+            r["cpu_fraction"],
+            r["llc_fraction"],
+            r["pdn_loss_fraction"],
+            r["worst_pdn"],
+        ]
+        for r in records
+    ]
+    return format_table(
+        ["TDP (W)", "SA+IO", "CPU", "LLC", "PDN loss", "worst PDN"],
+        rows,
+        float_format=".3f",
+        title="Fig. 2(b) - power-budget breakdown (worst-loss PDN per TDP)",
+    )

@@ -1,0 +1,84 @@
+"""Experiment E-FIG3: off-chip VR efficiency curves (Fig. 3).
+
+Fig. 3 plots the measured efficiency of the off-chip regulators as a function
+of output current (0.1--10 A, log scale), for several output voltages
+(0.6/0.7/1.0/1.8 V), two regulator power states (PS0 and PS1) and a 7.2 V
+input.  This driver regenerates the same curves from the library's behavioural
+board-regulator model, so the curve shapes (light-load fall-off, PS1's
+light-load advantage, higher output voltages being more efficient) can be
+compared directly against the figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.vr.base import RegulatorOperatingPoint
+from repro.vr.efficiency_curves import default_board_vr
+from repro.vr.switching import VRPowerState
+
+#: Output-current grid of Fig. 3 (amps, log-spaced 0.1 -> 10).
+FIG3_CURRENTS_A: Sequence[float] = (0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0)
+
+#: Output voltages plotted in Fig. 3.
+FIG3_VOLTAGES_V: Sequence[float] = (0.6, 0.7, 1.0, 1.8)
+
+#: Regulator power states plotted in Fig. 3.
+FIG3_POWER_STATES: Sequence[VRPowerState] = (VRPowerState.PS0, VRPowerState.PS1)
+
+#: Input voltage of the plotted curves.
+FIG3_INPUT_VOLTAGE_V = 7.2
+
+
+def vr_efficiency_curves(
+    currents_a: Sequence[float] = FIG3_CURRENTS_A,
+    voltages_v: Sequence[float] = FIG3_VOLTAGES_V,
+    power_states: Sequence[VRPowerState] = FIG3_POWER_STATES,
+    input_voltage_v: float = FIG3_INPUT_VOLTAGE_V,
+) -> List[Dict[str, float]]:
+    """Regenerate the Fig. 3 efficiency curves as flat records."""
+    regulator = default_board_vr("V_IN", iccmax_a=15.0)
+    records: List[Dict[str, float]] = []
+    for power_state in power_states:
+        regulator.set_power_state(power_state)
+        for output_voltage_v in voltages_v:
+            for output_current_a in currents_a:
+                point = RegulatorOperatingPoint(
+                    input_voltage_v=input_voltage_v,
+                    output_voltage_v=output_voltage_v,
+                    output_current_a=output_current_a,
+                )
+                records.append(
+                    {
+                        "power_state": power_state.name,
+                        "vout_v": output_voltage_v,
+                        "iout_a": output_current_a,
+                        "efficiency": regulator.efficiency(point),
+                    }
+                )
+    return records
+
+
+def format_figure3(records: List[Dict[str, float]] = None) -> str:
+    """Render the Fig. 3 curves as a table (one row per PS/Vout, one column per Iout)."""
+    records = records if records is not None else vr_efficiency_curves()
+    currents = sorted({record["iout_a"] for record in records})
+    headers = ["PS / Vout"] + [f"{current:.1f}A" for current in currents]
+    rows = []
+    keys = sorted({(record["power_state"], record["vout_v"]) for record in records})
+    for power_state, vout in keys:
+        row = [f"{power_state} {vout:.1f}V"]
+        for current in currents:
+            match = next(
+                record
+                for record in records
+                if record["power_state"] == power_state
+                and record["vout_v"] == vout
+                and record["iout_a"] == current
+            )
+            row.append(match["efficiency"])
+        rows.append(row)
+    return format_table(
+        headers, rows, float_format=".3f", title="Fig. 3 - off-chip VR efficiency (Vin=7.2V)"
+    )

@@ -1,0 +1,54 @@
+"""Run every experiment and collect the formatted outputs.
+
+``python -m repro.experiments.runner`` prints the full set of regenerated
+tables (one section per paper figure); ``run_all_experiments`` returns them as
+a dictionary so tests and the benchmark harness can pick individual sections.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments import (
+    fig2_performance_model,
+    fig3_vr_efficiency,
+    fig4_validation,
+    fig5_loss_breakdown,
+    fig7_spec_4w,
+    fig8_evaluation,
+)
+
+
+def run_all_experiments(include_validation: bool = True) -> Dict[str, str]:
+    """Regenerate every figure and return the formatted tables keyed by id.
+
+    Parameters
+    ----------
+    include_validation:
+        The Fig. 4 grid is the slowest experiment (it validates three PDNs over
+        a synthetic trace population); set to ``False`` for a quick pass.
+    """
+    outputs: Dict[str, str] = {
+        "fig2a": fig2_performance_model.format_figure2a(),
+        "fig2b": fig2_performance_model.format_figure2b(),
+        "fig3": fig3_vr_efficiency.format_figure3(),
+        "fig5": fig5_loss_breakdown.format_figure5(),
+        "fig7": fig7_spec_4w.format_figure7(),
+        "fig8": fig8_evaluation.format_figure8(),
+    }
+    if include_validation:
+        outputs["fig4"] = fig4_validation.format_figure4()
+    return outputs
+
+
+def main() -> None:
+    """Print every regenerated figure."""
+    outputs = run_all_experiments()
+    for key in sorted(outputs):
+        print(f"===== {key} =====")
+        print(outputs[key])
+        print()
+
+
+if __name__ == "__main__":
+    main()

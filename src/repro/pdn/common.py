@@ -1,0 +1,214 @@
+"""Shared building blocks of the PDN models.
+
+All four baseline PDNs (and FlexWatts) are assembled from the same few steps
+of Sec. 3.1:
+
+1. apply the tolerance-band guardband to each domain's nominal power (Eq. 2),
+2. optionally apply the power-gate guardband on top of it,
+3. group domains onto rails, apply the load-line guardband to each rail
+   (Eq. 3/4 or Eq. 7/8), and
+4. divide each rail's power by the efficiency of the regulator feeding it
+   (Eq. 5, 6, 9, 11, 12).
+
+This module implements those shared steps so the individual PDN classes only
+express their topology (which domain sits behind which regulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+from repro.pdn.base import OperatingConditions
+from repro.power.domains import DomainKind, DomainLoad
+from repro.power.guardband import guardband_power_w, power_gate_power_w
+from repro.power.parameters import PdnTechnologyParameters
+from repro.util.validation import require_non_negative
+from repro.vr.efficiency_curves import default_board_vr
+from repro.vr.load_line import LoadLine
+from repro.vr.switching import SwitchingRegulator, VRPowerState
+from repro.vr.base import RegulatorOperatingPoint
+
+#: Sizing margin applied when deriving a regulator's Iccmax from the peak
+#: current of the rail it feeds.
+ICCMAX_DESIGN_MARGIN = 1.3
+
+#: Smallest regulator the cost/area tables go down to (amps).
+MIN_BOARD_VR_ICCMAX_A = 1.0
+
+
+@dataclass(frozen=True)
+class GuardbandedLoad:
+    """One domain's power after the tolerance-band and power-gate guardbands."""
+
+    load: DomainLoad
+    guardbanded_power_w: float
+    gated_power_w: float
+
+    @property
+    def guardband_loss_w(self) -> float:
+        """Extra power caused by the guardbands alone."""
+        return self.gated_power_w - self.load.effective_power_w
+
+
+@dataclass(frozen=True)
+class RailEvaluation:
+    """Result of pushing one board rail through its load-line and regulator."""
+
+    name: str
+    output_power_w: float
+    supply_power_w: float
+    rail_voltage_v: float
+    rail_current_a: float
+    conduction_loss_w: float
+    off_chip_vr_loss_w: float
+    idle_quiescent_w: float
+
+
+def apply_guardbands(
+    loads: Iterable[DomainLoad],
+    tolerance_band_v: float,
+    power_gated_domains: Sequence[DomainKind],
+    parameters: PdnTechnologyParameters,
+) -> Dict[DomainKind, GuardbandedLoad]:
+    """Apply Eq. 2 (and the power-gate term) to every load.
+
+    Parameters
+    ----------
+    loads:
+        The per-domain loads of the operating point.
+    tolerance_band_v:
+        The PDN's regulator tolerance band.
+    power_gated_domains:
+        Domains that sit behind an on-chip power gate in this PDN topology.
+    parameters:
+        The technology parameters (power-gate impedances, leakage exponent).
+    """
+    guardbanded: Dict[DomainKind, GuardbandedLoad] = {}
+    for load in loads:
+        pgb = guardband_power_w(load, tolerance_band_v, parameters.leakage_exponent)
+        if load.kind in power_gated_domains:
+            ppg = power_gate_power_w(
+                load,
+                pgb,
+                tolerance_band_v,
+                parameters.power_gate_impedance_ohm.get(load.kind, 0.0),
+                parameters.leakage_exponent,
+            )
+        else:
+            ppg = pgb
+        guardbanded[load.kind] = GuardbandedLoad(
+            load=load, guardbanded_power_w=pgb, gated_power_w=ppg
+        )
+    return guardbanded
+
+
+def size_board_vr(
+    name: str, peak_current_a: float, power_state: VRPowerState = VRPowerState.PS0
+) -> SwitchingRegulator:
+    """Build a board regulator sized (Iccmax) for ``peak_current_a``."""
+    require_non_negative(peak_current_a, "peak_current_a")
+    iccmax = max(MIN_BOARD_VR_ICCMAX_A, peak_current_a * ICCMAX_DESIGN_MARGIN)
+    regulator = default_board_vr(name, iccmax)
+    regulator.set_power_state(power_state)
+    return regulator
+
+
+def evaluate_board_rail(
+    name: str,
+    rail_power_w: float,
+    rail_voltage_v: float,
+    load_line: LoadLine,
+    conditions: OperatingConditions,
+    parameters: PdnTechnologyParameters,
+    sizing_peak_current_a: float,
+    regulator: Optional[SwitchingRegulator] = None,
+) -> RailEvaluation:
+    """Evaluate one board rail: load-line guardband plus regulator losses.
+
+    Parameters
+    ----------
+    name:
+        Rail name (e.g. ``"V_Cores"``); used for sizing and diagnostics.
+    rail_power_w:
+        Power drawn by the loads on the rail *after* the per-domain guardbands.
+    rail_voltage_v:
+        Nominal rail voltage (the highest domain voltage on the rail).
+    load_line:
+        Distribution impedance from the board regulator to the loads.
+    conditions:
+        The operating point (provides the application ratio and the board VR
+        power state).
+    parameters:
+        Technology parameters (platform supply voltage).
+    sizing_peak_current_a:
+        Worst-case current of this rail at the evaluated TDP, used to size the
+        regulator's Iccmax (and hence its fixed losses).
+    regulator:
+        An explicit regulator instance (used by tests and what-if studies);
+        when omitted a default board regulator is sized from
+        ``sizing_peak_current_a``.
+    """
+    if regulator is None:
+        regulator = size_board_vr(name, sizing_peak_current_a, conditions.board_vr_state)
+    else:
+        regulator.set_power_state(conditions.board_vr_state)
+    if rail_power_w <= 0.0:
+        idle_w = regulator.idle_power_w()
+        return RailEvaluation(
+            name=name,
+            output_power_w=0.0,
+            supply_power_w=idle_w,
+            rail_voltage_v=rail_voltage_v,
+            rail_current_a=0.0,
+            conduction_loss_w=0.0,
+            off_chip_vr_loss_w=0.0,
+            idle_quiescent_w=idle_w,
+        )
+    ll_result = load_line.apply(rail_voltage_v, rail_power_w, conditions.application_ratio)
+    point = RegulatorOperatingPoint(
+        input_voltage_v=parameters.supply_voltage_v,
+        output_voltage_v=ll_result.rail_voltage_v,
+        output_current_a=ll_result.rail_current_a,
+    )
+    supply_power_w = regulator.input_power_w(point)
+    return RailEvaluation(
+        name=name,
+        output_power_w=rail_power_w,
+        supply_power_w=supply_power_w,
+        rail_voltage_v=ll_result.rail_voltage_v,
+        rail_current_a=ll_result.rail_current_a,
+        conduction_loss_w=ll_result.conduction_loss_w,
+        off_chip_vr_loss_w=supply_power_w - ll_result.rail_power_w,
+        idle_quiescent_w=0.0,
+    )
+
+
+def group_power_w(
+    guardbanded: Mapping[DomainKind, GuardbandedLoad], kinds: Sequence[DomainKind]
+) -> float:
+    """Sum of the guardbanded power of the domains in ``kinds``."""
+    return sum(guardbanded[kind].gated_power_w for kind in kinds if kind in guardbanded)
+
+
+def group_voltage_v(
+    conditions: OperatingConditions, kinds: Sequence[DomainKind]
+) -> float:
+    """Rail voltage of a group of domains (the highest active domain voltage).
+
+    If none of the group's domains are active the first domain's voltage is
+    returned so downstream maths stays well-defined.
+    """
+    voltages = [
+        conditions.load(kind).voltage_v
+        for kind in kinds
+        if conditions.load(kind).active and conditions.load(kind).effective_power_w > 0.0
+    ]
+    if not voltages:
+        return conditions.load(kinds[0]).voltage_v
+    return max(voltages)
+
+
+def guardband_loss_w(guardbanded: Mapping[DomainKind, GuardbandedLoad]) -> float:
+    """Total power added by the tolerance-band and power-gate guardbands."""
+    return sum(item.guardband_loss_w for item in guardbanded.values())

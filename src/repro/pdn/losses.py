@@ -1,0 +1,80 @@
+"""Loss-breakdown accounting for PDN evaluations.
+
+Fig. 5 of the paper decomposes the power-conversion loss of each PDN into:
+
+* on-chip and off-chip *VR inefficiencies* (switching, quiescent and linear
+  regulation losses inside the regulators),
+* *conduction loss* (I^2 R) on the path to the core and graphics domains,
+* *conduction loss* on the path to the SA and IO domains, and
+* *others* (tolerance-band and power-gate guardbands, quiescent power of
+  otherwise idle regulators).
+
+:class:`LossBreakdown` carries that decomposition in watts and can normalise
+it against a nominal power to produce the percentage bars of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LossBreakdown:
+    """Decomposition of the power lost inside a PDN, in watts."""
+
+    #: Losses inside on-chip regulators (IVRs, LDOs).
+    on_chip_vr_w: float = 0.0
+    #: Losses inside off-chip (board) regulators, including V_IN.
+    off_chip_vr_w: float = 0.0
+    #: I^2 R conduction loss on the rails feeding the cores, LLC and graphics.
+    conduction_compute_w: float = 0.0
+    #: I^2 R conduction loss on the rails feeding the SA and IO domains.
+    conduction_uncore_w: float = 0.0
+    #: Guardband losses (tolerance band, power-gate drop) and idle quiescent
+    #: power of regulators whose loads are gated.
+    other_w: float = 0.0
+    #: Free-form per-rail diagnostic details, keyed by rail name.
+    rail_details: dict = field(default_factory=dict)
+
+    @property
+    def vr_inefficiency_w(self) -> float:
+        """Combined on-chip + off-chip regulator losses (the first Fig. 5 bar)."""
+        return self.on_chip_vr_w + self.off_chip_vr_w
+
+    @property
+    def total_w(self) -> float:
+        """Total PDN loss in watts."""
+        return (
+            self.on_chip_vr_w
+            + self.off_chip_vr_w
+            + self.conduction_compute_w
+            + self.conduction_uncore_w
+            + self.other_w
+        )
+
+    def merged_with(self, other: "LossBreakdown") -> "LossBreakdown":
+        """Return a new breakdown that is the sum of this one and ``other``."""
+        merged_details = dict(self.rail_details)
+        merged_details.update(other.rail_details)
+        return LossBreakdown(
+            on_chip_vr_w=self.on_chip_vr_w + other.on_chip_vr_w,
+            off_chip_vr_w=self.off_chip_vr_w + other.off_chip_vr_w,
+            conduction_compute_w=self.conduction_compute_w + other.conduction_compute_w,
+            conduction_uncore_w=self.conduction_uncore_w + other.conduction_uncore_w,
+            other_w=self.other_w + other.other_w,
+            rail_details=merged_details,
+        )
+
+    def as_fractions_of(self, reference_power_w: float) -> dict:
+        """Express the breakdown as fractions of ``reference_power_w`` (Fig. 5).
+
+        The paper normalises the loss bars against the total package power.
+        """
+        if reference_power_w <= 0.0:
+            raise ValueError("reference_power_w must be positive")
+        return {
+            "vr_inefficiency": self.vr_inefficiency_w / reference_power_w,
+            "conduction_compute": self.conduction_compute_w / reference_power_w,
+            "conduction_uncore": self.conduction_uncore_w / reference_power_w,
+            "other": self.other_w / reference_power_w,
+        }

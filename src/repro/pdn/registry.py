@@ -1,0 +1,58 @@
+"""Registry of the PDN architectures PDNspot can evaluate.
+
+The registry lets the analysis framework, experiments and command-line
+examples refer to PDNs by the short names used throughout the paper
+(``"IVR"``, ``"MBVR"``, ``"LDO"``, ``"I+MBVR"``, ``"FlexWatts"``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from repro.pdn.base import PowerDeliveryNetwork
+from repro.pdn.imbvr import IMbvrPdn
+from repro.pdn.ivr import IvrPdn
+from repro.pdn.ldo import LdoPdn
+from repro.pdn.mbvr import MbvrPdn
+from repro.power.parameters import PdnTechnologyParameters
+from repro.util.errors import ConfigurationError
+
+
+def _registry() -> Dict[str, Type[PowerDeliveryNetwork]]:
+    # FlexWatts lives in repro.core (it is the paper's contribution, not a
+    # baseline); importing it lazily avoids a circular import at package
+    # initialisation time.
+    from repro.core.flexwatts import FlexWattsPdn
+
+    return {
+        "IVR": IvrPdn,
+        "MBVR": MbvrPdn,
+        "LDO": LdoPdn,
+        "I+MBVR": IMbvrPdn,
+        "FlexWatts": FlexWattsPdn,
+    }
+
+
+def available_pdns() -> List[str]:
+    """Names of all PDN architectures the framework can evaluate."""
+    return list(_registry().keys())
+
+
+def build_pdn(
+    name: str, parameters: Optional[PdnTechnologyParameters] = None
+) -> PowerDeliveryNetwork:
+    """Build a PDN model by its paper name (case-insensitive).
+
+    Raises
+    ------
+    ConfigurationError
+        If ``name`` does not identify a known PDN architecture.
+    """
+    registry = _registry()
+    lookup = {key.lower(): value for key, value in registry.items()}
+    key = name.lower()
+    if key not in lookup:
+        raise ConfigurationError(
+            f"unknown PDN {name!r}; available: {', '.join(registry)}"
+        )
+    return lookup[key](parameters)

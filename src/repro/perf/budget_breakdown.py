@@ -1,0 +1,58 @@
+"""Power-budget breakdown across TDPs (Fig. 2b).
+
+Fig. 2(b) shows, for a CPU-intensive workload at each TDP, what fraction of
+the package budget goes to the SA+IO domains, the CPU cores, the LLC, and to
+PDN conversion loss -- using, at each TDP, whichever of the three
+commonly-used PDNs has the *highest* loss (IVR at low TDP, MBVR at high TDP),
+to illustrate the cost of an unoptimised PDN choice.
+
+The breakdown here is produced by evaluating the actual PDN models and feeding
+the resulting ETEE into the power-budget manager, so it is consistent with the
+rest of the library by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.pdn.base import OperatingConditions
+from repro.pdn.registry import build_pdn
+from repro.power.budget import PowerBudgetManager, PowerBudgetSplit
+from repro.power.domains import WorkloadType
+from repro.util.validation import require_positive
+
+#: The three commonly-used PDNs among which the worst-loss one is selected.
+COMMON_PDNS: Sequence[str] = ("IVR", "MBVR", "LDO")
+
+
+def worst_case_pdn_loss(
+    tdp_w: float,
+    application_ratio: float = 0.56,
+    workload_type: WorkloadType = WorkloadType.CPU_MULTI_THREAD,
+) -> Dict[str, float]:
+    """ETEE of the three common PDNs at ``tdp_w`` and the worst one's name.
+
+    Returns a mapping with one entry per PDN plus ``"worst"`` naming the PDN
+    with the lowest ETEE (highest loss).
+    """
+    require_positive(tdp_w, "tdp_w")
+    conditions = OperatingConditions.for_active_workload(
+        tdp_w, application_ratio, workload_type
+    )
+    etees = {name: build_pdn(name).evaluate(conditions).etee for name in COMMON_PDNS}
+    worst = min(etees, key=etees.get)
+    result: Dict[str, float] = dict(etees)
+    result["worst"] = worst
+    return result
+
+
+def budget_breakdown_for_tdp(
+    tdp_w: float,
+    application_ratio: float = 0.56,
+    workload_type: WorkloadType = WorkloadType.CPU_MULTI_THREAD,
+) -> PowerBudgetSplit:
+    """The Fig. 2(b) budget breakdown at ``tdp_w`` using the worst-loss PDN."""
+    losses = worst_case_pdn_loss(tdp_w, application_ratio, workload_type)
+    worst_etee = losses[losses["worst"]]
+    manager = PowerBudgetManager()
+    return manager.split(tdp_w, worst_etee, workload_type)

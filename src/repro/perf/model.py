@@ -1,0 +1,162 @@
+"""The PDNspot performance model (Sec. 3.3).
+
+The model estimates how a PDN's end-to-end efficiency translates into workload
+performance.  For a compute-bound workload at a fixed TDP:
+
+1. the PDN's ETEE determines how much nominal power remains for the compute
+   domains after the fixed SA/IO/LLC allocations and the PDN loss,
+2. the frequency-sensitivity curve (Fig. 2a) converts any *extra* compute
+   budget -- relative to the baseline PDN -- into a frequency increase, and
+3. the workload's performance scalability converts the frequency increase into
+   a performance increase.
+
+Performance is reported relative to a baseline PDN (the paper normalises to
+the IVR PDN at 100 %), which is also how Fig. 7 and Fig. 8(a)-(b) are drawn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.pdn.base import OperatingConditions, PowerDeliveryNetwork
+from repro.perf.frequency_sensitivity import FrequencySensitivityModel
+from repro.power.budget import PowerBudgetManager
+from repro.power.domains import DomainKind, WorkloadType
+from repro.util.errors import ModelDomainError
+from repro.util.validation import require_positive
+from repro.workloads.base import Benchmark
+
+
+@dataclass(frozen=True)
+class PerformanceResult:
+    """Relative performance of one benchmark on one PDN at one TDP."""
+
+    pdn_name: str
+    benchmark_name: str
+    tdp_w: float
+    etee: float
+    compute_budget_w: float
+    frequency_delta_fraction: float
+    relative_performance: float
+
+    @property
+    def relative_performance_percent(self) -> float:
+        """Relative performance in percent (the axis used by Fig. 7 / Fig. 8)."""
+        return self.relative_performance * 100.0
+
+
+class PerformanceModel:
+    """Estimates PDN-relative performance for compute-bound workloads."""
+
+    def __init__(
+        self,
+        baseline_pdn: PowerDeliveryNetwork,
+        budget_manager: Optional[PowerBudgetManager] = None,
+        sensitivity: Optional[FrequencySensitivityModel] = None,
+    ):
+        self._baseline = baseline_pdn
+        self._budget = budget_manager if budget_manager is not None else PowerBudgetManager()
+        self._sensitivity = (
+            sensitivity if sensitivity is not None else FrequencySensitivityModel()
+        )
+
+    @property
+    def baseline_pdn(self) -> PowerDeliveryNetwork:
+        """The PDN performance is normalised against (IVR in the paper)."""
+        return self._baseline
+
+    # ------------------------------------------------------------------ #
+    # Single-benchmark evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self,
+        pdn: PowerDeliveryNetwork,
+        benchmark: Benchmark,
+        tdp_w: float,
+    ) -> PerformanceResult:
+        """Relative performance of ``benchmark`` on ``pdn`` at ``tdp_w``."""
+        require_positive(tdp_w, "tdp_w")
+        if benchmark.workload_type is WorkloadType.IDLE:
+            raise ModelDomainError("the performance model only applies to active workloads")
+        conditions = OperatingConditions.for_active_workload(
+            tdp_w=tdp_w,
+            application_ratio=benchmark.application_ratio,
+            workload_type=benchmark.workload_type,
+        )
+        candidate_etee = pdn.evaluate(conditions).etee
+        baseline_etee = self._baseline.evaluate(conditions).etee
+        candidate_budget = self._budget.split(
+            tdp_w, candidate_etee, benchmark.workload_type
+        ).compute_w
+        baseline_budget = self._budget.split(
+            tdp_w, baseline_etee, benchmark.workload_type
+        ).compute_w
+        extra_budget_w = candidate_budget - baseline_budget
+        domain = (
+            DomainKind.GFX
+            if benchmark.workload_type is WorkloadType.GRAPHICS
+            else DomainKind.CORE0
+        )
+        frequency_delta = self._frequency_delta_fraction(tdp_w, extra_budget_w, domain)
+        relative_performance = 1.0 + benchmark.performance_scalability * frequency_delta
+        return PerformanceResult(
+            pdn_name=pdn.name,
+            benchmark_name=benchmark.name,
+            tdp_w=tdp_w,
+            etee=candidate_etee,
+            compute_budget_w=candidate_budget,
+            frequency_delta_fraction=frequency_delta,
+            relative_performance=relative_performance,
+        )
+
+    def _frequency_delta_fraction(
+        self, tdp_w: float, extra_budget_w: float, domain: DomainKind
+    ) -> float:
+        if extra_budget_w >= 0.0:
+            return self._sensitivity.frequency_increase_for_power(
+                tdp_w, extra_budget_w, domain
+            )
+        # A PDN with a lower ETEE than the baseline must give back budget,
+        # which costs frequency; the same (monotone) curve is used in reverse.
+        loss = self._sensitivity.frequency_increase_for_power(
+            tdp_w, -extra_budget_w, domain
+        )
+        return -loss
+
+    # ------------------------------------------------------------------ #
+    # Suite-level evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate_suite(
+        self,
+        pdn: PowerDeliveryNetwork,
+        benchmarks: Iterable[Benchmark],
+        tdp_w: float,
+    ) -> List[PerformanceResult]:
+        """Per-benchmark relative performance of a suite on ``pdn``."""
+        return [self.evaluate(pdn, benchmark, tdp_w) for benchmark in benchmarks]
+
+    def average_relative_performance(
+        self,
+        pdn: PowerDeliveryNetwork,
+        benchmarks: Iterable[Benchmark],
+        tdp_w: float,
+    ) -> float:
+        """Suite-average relative performance (the Fig. 8a/8b metric)."""
+        results = self.evaluate_suite(pdn, list(benchmarks), tdp_w)
+        if not results:
+            raise ModelDomainError("cannot average over an empty benchmark list")
+        return sum(result.relative_performance for result in results) / len(results)
+
+    def compare_pdns(
+        self,
+        pdns: Iterable[PowerDeliveryNetwork],
+        benchmarks: Iterable[Benchmark],
+        tdp_w: float,
+    ) -> Dict[str, float]:
+        """Suite-average relative performance of several PDNs at one TDP."""
+        benchmark_list = list(benchmarks)
+        return {
+            pdn.name: self.average_relative_performance(pdn, benchmark_list, tdp_w)
+            for pdn in pdns
+        }

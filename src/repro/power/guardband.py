@@ -1,0 +1,73 @@
+"""Voltage-guardband power models (Eq. 2 and the power-gate term).
+
+Every PDN raises its regulator set points above a domain's nominal voltage to
+cover the regulator tolerance band, and -- for domains that sit behind an
+on-chip power gate -- the resistive drop across the gate.  The extra voltage
+turns into extra power according to Eq. 2 of the paper, implemented by
+:func:`repro.power.leakage.scale_power_with_voltage`.
+
+This module provides the two guardband steps used by all PDN models in
+:mod:`repro.pdn`:
+
+* :func:`guardband_power_w` -- ``P_GB``: nominal power after the tolerance-band
+  guardband.
+* :func:`power_gate_power_w` -- ``P_PG``: power after additionally covering the
+  power-gate voltage drop (applied on top of ``P_GB``; the paper notes the
+  same equation is reused with ``V_PG, P_GB, V_NOM + V_GB`` substituted for
+  ``V_GB, P_NOM, V_NOM``).
+"""
+
+from __future__ import annotations
+
+from repro.power.domains import DomainLoad
+from repro.power.leakage import scale_power_with_voltage
+from repro.util.validation import require_non_negative
+
+
+def guardband_power_w(
+    load: DomainLoad,
+    tolerance_band_v: float,
+    leakage_exponent: float = 2.8,
+) -> float:
+    """Power of ``load`` after applying the tolerance-band guardband (Eq. 2)."""
+    require_non_negative(tolerance_band_v, "tolerance_band_v")
+    if not load.active or load.nominal_power_w == 0.0:
+        return 0.0
+    return scale_power_with_voltage(
+        nominal_power_w=load.nominal_power_w,
+        nominal_voltage_v=load.voltage_v,
+        guardband_v=tolerance_band_v,
+        leakage_fraction=load.leakage_fraction,
+        leakage_exponent=leakage_exponent,
+    )
+
+
+def power_gate_power_w(
+    load: DomainLoad,
+    guardbanded_power_w: float,
+    tolerance_band_v: float,
+    power_gate_impedance_ohm: float,
+    leakage_exponent: float = 2.8,
+) -> float:
+    """Power of ``load`` after additionally covering the power-gate drop.
+
+    The power-gate drop ``V_PG`` is the gate impedance times the current the
+    domain draws at its guardbanded voltage.  Eq. 2 is reapplied with the
+    already-guardbanded power and voltage as the starting point.
+    """
+    require_non_negative(power_gate_impedance_ohm, "power_gate_impedance_ohm")
+    require_non_negative(guardbanded_power_w, "guardbanded_power_w")
+    if not load.active or guardbanded_power_w == 0.0:
+        return 0.0
+    if not load.power_gated_rail or power_gate_impedance_ohm == 0.0:
+        return guardbanded_power_w
+    guardbanded_voltage_v = load.voltage_v + tolerance_band_v
+    current_a = guardbanded_power_w / guardbanded_voltage_v
+    power_gate_drop_v = power_gate_impedance_ohm * current_a
+    return scale_power_with_voltage(
+        nominal_power_w=guardbanded_power_w,
+        nominal_voltage_v=guardbanded_voltage_v,
+        guardband_v=power_gate_drop_v,
+        leakage_fraction=load.leakage_fraction,
+        leakage_exponent=leakage_exponent,
+    )

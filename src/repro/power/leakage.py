@@ -1,0 +1,98 @@
+"""Leakage and dynamic power scaling with voltage and temperature.
+
+Sec. 3.1 of the paper: when a domain's supply voltage is raised from its
+nominal value ``V_NOM`` to ``V_NOM + V_GB`` (to cover a tolerance band, a
+power-gate drop or a load-line droop), the dynamic and leakage components of
+its power scale differently:
+
+* dynamic power scales with the square of the voltage ratio, and
+* leakage power scales approximately polynomially with the voltage ratio,
+  with an exponent of ~2.8 measured on a Skylake part (Sec. 3.1).
+
+Leakage also depends exponentially on temperature; the paper's models assume a
+fixed junction temperature per scenario (80/100 deg C for the performance
+studies, 50 deg C for battery-life studies), which we expose through a simple
+temperature scaling factor used by :class:`repro.power.thermal.ThermalModel`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.errors import ModelDomainError
+from repro.util.validation import require_fraction, require_positive
+
+#: Voltage exponent of the leakage power fit (Sec. 3.1, delta ~= 2.8).
+LEAKAGE_VOLTAGE_EXPONENT = 2.8
+
+#: Exponential temperature coefficient of leakage (per deg C).  Calibrated so
+#: leakage roughly doubles between 50 deg C and 100 deg C, a typical figure
+#: for a 14 nm process.
+LEAKAGE_TEMPERATURE_COEFFICIENT = 0.014
+
+#: Reference junction temperature at which the nominal leakage fractions of
+#: Table 2 were extracted.
+REFERENCE_JUNCTION_TEMPERATURE_C = 80.0
+
+
+def scale_power_with_voltage(
+    nominal_power_w: float,
+    nominal_voltage_v: float,
+    guardband_v: float,
+    leakage_fraction: float,
+    leakage_exponent: float = LEAKAGE_VOLTAGE_EXPONENT,
+) -> float:
+    """Scale a domain's power for a supply-voltage increase (Eq. 2).
+
+    Returns the power drawn when the supply voltage is raised from
+    ``nominal_voltage_v`` to ``nominal_voltage_v + guardband_v``::
+
+        P = P_NOM * [ F_L * ((V + Vgb) / V)^delta + (1 - F_L) * ((V + Vgb) / V)^2 ]
+
+    Parameters
+    ----------
+    nominal_power_w:
+        The domain's power at its nominal voltage.
+    nominal_voltage_v:
+        The nominal supply voltage ``V_NOM``.
+    guardband_v:
+        The voltage increase ``V_GB`` (tolerance band, power-gate drop, ...).
+    leakage_fraction:
+        The leakage fraction ``F_L`` of the domain.
+    leakage_exponent:
+        The polynomial exponent of the leakage fit (default 2.8).
+    """
+    require_positive(nominal_voltage_v, "nominal_voltage_v")
+    require_fraction(leakage_fraction, "leakage_fraction")
+    if nominal_power_w < 0:
+        raise ModelDomainError(f"nominal_power_w must be >= 0, got {nominal_power_w!r}")
+    if guardband_v < 0:
+        raise ModelDomainError(f"guardband_v must be >= 0, got {guardband_v!r}")
+    ratio = (nominal_voltage_v + guardband_v) / nominal_voltage_v
+    leakage_term = leakage_fraction * ratio**leakage_exponent
+    dynamic_term = (1.0 - leakage_fraction) * ratio**2
+    return nominal_power_w * (leakage_term + dynamic_term)
+
+
+def leakage_temperature_factor(
+    junction_temperature_c: float,
+    reference_temperature_c: float = REFERENCE_JUNCTION_TEMPERATURE_C,
+    coefficient: float = LEAKAGE_TEMPERATURE_COEFFICIENT,
+) -> float:
+    """Multiplicative leakage scaling for a junction temperature change.
+
+    Leakage grows exponentially with temperature; dynamic power is unaffected
+    (Sec. 4.2, the thermal-conditioning technique relies on exactly this).
+    """
+    return math.exp(coefficient * (junction_temperature_c - reference_temperature_c))
+
+
+def split_power(
+    nominal_power_w: float, leakage_fraction: float
+) -> tuple:
+    """Split a domain's nominal power into (leakage_w, dynamic_w)."""
+    require_fraction(leakage_fraction, "leakage_fraction")
+    if nominal_power_w < 0:
+        raise ModelDomainError(f"nominal_power_w must be >= 0, got {nominal_power_w!r}")
+    leakage = nominal_power_w * leakage_fraction
+    return leakage, nominal_power_w - leakage

@@ -1,0 +1,68 @@
+"""Thermal model: junction temperature scenarios and TDP enforcement.
+
+The paper evaluates performance workloads on a fan-less system with a junction
+temperature (Tj) of 80 deg C for TDPs of 4--8 W and 100 deg C above that, and
+battery-life workloads at 50 deg C (Sec. 7).  Temperature affects the models
+through leakage (leakage grows exponentially with temperature) and through the
+TDP limit itself (the package may not dissipate more than the TDP on average).
+
+PDNspot treats the processor and the off-chip regulators as one thermal domain
+(Sec. 3.4), so PDN losses count against the same TDP as the silicon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.leakage import leakage_temperature_factor
+from repro.util.errors import ModelDomainError
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class ThermalModel:
+    """Junction-temperature scenario used by an evaluation.
+
+    Attributes
+    ----------
+    tdp_w:
+        The package thermal design power.
+    junction_temperature_c:
+        The assumed steady-state junction temperature.
+    """
+
+    tdp_w: float
+    junction_temperature_c: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.tdp_w, "tdp_w")
+        if not -40.0 <= self.junction_temperature_c <= 125.0:
+            raise ModelDomainError(
+                "junction_temperature_c outside the commercial silicon range "
+                f"[-40, 125]: {self.junction_temperature_c!r}"
+            )
+
+    @classmethod
+    def for_performance_workload(cls, tdp_w: float) -> "ThermalModel":
+        """Fan-less performance scenario: Tj 80 C up to 8 W, 100 C above."""
+        require_positive(tdp_w, "tdp_w")
+        junction_c = 80.0 if tdp_w <= 8.0 else 100.0
+        return cls(tdp_w=tdp_w, junction_temperature_c=junction_c)
+
+    @classmethod
+    def for_battery_life_workload(cls, tdp_w: float) -> "ThermalModel":
+        """Battery-life scenario: Tj 50 C (Sec. 7.1)."""
+        return cls(tdp_w=tdp_w, junction_temperature_c=50.0)
+
+    @property
+    def leakage_factor(self) -> float:
+        """Leakage scaling relative to the reference temperature (80 C)."""
+        return leakage_temperature_factor(self.junction_temperature_c)
+
+    def within_budget(self, package_power_w: float) -> bool:
+        """Whether ``package_power_w`` respects the TDP limit."""
+        return package_power_w <= self.tdp_w + 1e-9
+
+    def headroom_w(self, package_power_w: float) -> float:
+        """Remaining thermal headroom (negative when over budget)."""
+        return self.tdp_w - package_power_w

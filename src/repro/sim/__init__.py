@@ -1,0 +1,15 @@
+"""Interval-based system simulation.
+
+PDNspot's analytic models evaluate one operating point at a time (Sec. 3.4
+notes that time-varying workloads are handled by evaluating each interval
+separately).  The :class:`~repro.sim.engine.IntervalSimulator` automates
+exactly that: it replays a :class:`~repro.workloads.base.WorkloadTrace`
+phase by phase against a processor + PDN combination, drives the PMU's
+power-state machine, and -- when the PDN is FlexWatts -- runs the Algorithm-1
+predictor every evaluation interval and pays the mode-switch flow's latency
+and energy whenever the selected mode changes.
+"""
+
+from repro.sim.engine import IntervalSimulator, PhaseRecord, SimulationResult
+
+__all__ = ["IntervalSimulator", "SimulationResult", "PhaseRecord"]

@@ -1,0 +1,205 @@
+"""The interval simulator.
+
+The simulator models time explicitly but keeps the electrical models analytic:
+each workload phase is one (or several) evaluation intervals during which the
+operating point is constant, so the phase's energy is simply power x time.
+What the simulator adds over the analytic sweeps is the *dynamic* behaviour of
+FlexWatts: mode decisions are made from PMU telemetry at each interval, mode
+switches cost the 94 us flow, and a minimum-residency guard prevents
+thrashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.flexwatts import FlexWattsPdn
+from repro.core.hybrid_vr import PdnMode
+from repro.pdn.base import OperatingConditions, PowerDeliveryNetwork
+from repro.power.domains import WorkloadType
+from repro.power.power_states import PackageCState
+from repro.soc.pmu import PowerManagementUnit
+from repro.util.errors import ConfigurationError
+from repro.util.validation import require_positive
+from repro.workloads.base import WorkloadPhase, WorkloadTrace
+
+
+@dataclass(frozen=True)
+class PhaseRecord:
+    """Simulation outcome of one workload phase."""
+
+    phase_index: int
+    power_state: str
+    workload_type: str
+    duration_s: float
+    supply_power_w: float
+    energy_j: float
+    pdn_mode: Optional[str] = None
+    mode_switched: bool = False
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of simulating one trace on one PDN."""
+
+    pdn_name: str
+    trace_name: str
+    tdp_w: float
+    phase_records: List[PhaseRecord] = field(default_factory=list)
+    mode_switch_count: int = 0
+    mode_switch_time_s: float = 0.0
+    mode_switch_energy_j: float = 0.0
+
+    @property
+    def total_time_s(self) -> float:
+        """Total simulated time, including mode-switch flows."""
+        return sum(record.duration_s for record in self.phase_records) + self.mode_switch_time_s
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total energy drawn from the platform supply."""
+        return (
+            sum(record.energy_j for record in self.phase_records)
+            + self.mode_switch_energy_j
+        )
+
+    @property
+    def average_power_w(self) -> float:
+        """Average supply power over the simulated trace."""
+        total_time = self.total_time_s
+        if total_time == 0.0:
+            return 0.0
+        return self.total_energy_j / total_time
+
+    def time_in_mode_s(self, mode: PdnMode) -> float:
+        """Time spent with the hybrid PDN in ``mode`` (FlexWatts runs only)."""
+        return sum(
+            record.duration_s
+            for record in self.phase_records
+            if record.pdn_mode == mode.value
+        )
+
+
+class IntervalSimulator:
+    """Replays workload traces against a processor + PDN combination.
+
+    Parameters
+    ----------
+    tdp_w:
+        The processor's configured TDP.
+    default_phase_duration_s:
+        Duration assigned to phases that carry only a residency (battery-life
+        traces); each phase then lasts ``residency * trace_period_s``.
+    trace_period_s:
+        The period over which residencies are defined (e.g. the length of one
+        video frame times the number of frames simulated).
+    """
+
+    def __init__(
+        self,
+        tdp_w: float,
+        trace_period_s: float = 1.0,
+        evaluation_interval_s: float = 10e-3,
+    ):
+        require_positive(tdp_w, "tdp_w")
+        require_positive(trace_period_s, "trace_period_s")
+        require_positive(evaluation_interval_s, "evaluation_interval_s")
+        self._tdp_w = tdp_w
+        self._trace_period_s = trace_period_s
+        self._evaluation_interval_s = evaluation_interval_s
+
+    # ------------------------------------------------------------------ #
+    # Operating-point construction
+    # ------------------------------------------------------------------ #
+    def _conditions_for_phase(self, phase: WorkloadPhase) -> OperatingConditions:
+        if phase.power_state is PackageCState.C0 and phase.benchmark is not None:
+            return OperatingConditions.for_active_workload(
+                tdp_w=self._tdp_w,
+                application_ratio=phase.benchmark.application_ratio,
+                workload_type=phase.benchmark.workload_type,
+            )
+        if phase.power_state is PackageCState.C0:
+            raise ConfigurationError("a C0 phase needs a benchmark")
+        return OperatingConditions.for_power_state(self._tdp_w, phase.power_state)
+
+    def _phase_duration_s(self, phase: WorkloadPhase) -> float:
+        if phase.duration_s is not None:
+            return phase.duration_s
+        return phase.residency * self._trace_period_s
+
+    # ------------------------------------------------------------------ #
+    # Simulation
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        trace: WorkloadTrace,
+        pdn: PowerDeliveryNetwork,
+        pmu: Optional[PowerManagementUnit] = None,
+    ) -> SimulationResult:
+        """Simulate ``trace`` on ``pdn``.
+
+        For a :class:`FlexWattsPdn` the Algorithm-1 predictor is consulted for
+        every phase, the mode-switch controller enforces the minimum mode
+        residency, and every switch adds the flow's latency and energy.  Other
+        PDNs are static, so their phases are evaluated directly.
+        """
+        if pmu is None:
+            pmu = PowerManagementUnit(tdp_w=self._tdp_w)
+        result = SimulationResult(
+            pdn_name=pdn.name, trace_name=trace.name, tdp_w=self._tdp_w
+        )
+        adaptive = isinstance(pdn, FlexWattsPdn)
+        for index, phase in enumerate(trace.phases):
+            duration_s = self._phase_duration_s(phase)
+            if duration_s == 0.0:
+                continue
+            conditions = self._conditions_for_phase(phase)
+            switched = False
+            mode_name: Optional[str] = None
+            if adaptive:
+                controller = pdn.switch_controller
+                controller.advance_time(duration_s)
+                desired_mode = pdn.predict_mode(conditions)
+                if desired_mode is not controller.mode and controller.can_switch():
+                    # The switch is performed at the phase boundary, while the
+                    # compute domains are idle (the flow itself forces C6).
+                    previous_power = pdn.evaluate_in_mode(
+                        conditions, controller.mode
+                    ).supply_power_w
+                    latency_s = controller.switch_to(desired_mode, pmu=pmu)
+                    result.mode_switch_count += 1
+                    result.mode_switch_time_s += latency_s
+                    result.mode_switch_energy_j += previous_power * latency_s
+                    switched = True
+                evaluation = pdn.evaluate_in_mode(conditions, controller.mode)
+                mode_name = controller.mode.value
+            else:
+                evaluation = pdn.evaluate(conditions)
+            pmu.advance_time(duration_s)
+            pmu.enter_power_state(phase.power_state)
+            result.phase_records.append(
+                PhaseRecord(
+                    phase_index=index,
+                    power_state=phase.power_state.value,
+                    workload_type=(
+                        phase.benchmark.workload_type.value
+                        if phase.benchmark is not None
+                        else WorkloadType.IDLE.value
+                    ),
+                    duration_s=duration_s,
+                    supply_power_w=evaluation.supply_power_w,
+                    energy_j=evaluation.supply_power_w * duration_s,
+                    pdn_mode=mode_name,
+                    mode_switched=switched,
+                )
+            )
+        return result
+
+    def compare(
+        self,
+        trace: WorkloadTrace,
+        pdns: Sequence[PowerDeliveryNetwork],
+    ) -> Dict[str, SimulationResult]:
+        """Simulate ``trace`` on several PDNs and return the results by name."""
+        return {pdn.name: self.run(trace, pdn) for pdn in pdns}

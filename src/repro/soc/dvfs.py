@@ -1,0 +1,133 @@
+"""Voltage/frequency curves and sustained operating points per TDP.
+
+Table 1 of the paper describes the modelled processor: the CPU cores scale
+from 0.8 GHz to 4 GHz, the graphics engines from 0.1 GHz to 1.2 GHz, and the
+LLC scales with whichever compute domain drives it.  The System Agent and IO
+domains run at fixed frequencies and voltages.
+
+A modern power-management unit stores the voltage required for each frequency
+as a firmware table; we model it as a piecewise-linear
+:class:`VoltageFrequencyCurve` spanning the 0.55--1.1 V operational range the
+paper quotes for client processors.
+
+The *sustained* frequency a TDP supports (e.g. 0.9 GHz for the 4 W SPEC
+CPU2006 evaluation of Sec. 7.1) is also stored as a table; the performance
+model perturbs frequencies around these operating points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.domains import WorkloadType
+from repro.util.errors import ModelDomainError
+from repro.util.interpolate import LinearTable1D, clamp
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class VoltageFrequencyCurve:
+    """Voltage required to sustain a given clock frequency.
+
+    Attributes
+    ----------
+    min_frequency_ghz / max_frequency_ghz:
+        The domain's frequency range.
+    min_voltage_v / max_voltage_v:
+        Voltage at the minimum and maximum frequency; intermediate points are
+        interpolated linearly (a good approximation over the client range).
+    """
+
+    min_frequency_ghz: float
+    max_frequency_ghz: float
+    min_voltage_v: float
+    max_voltage_v: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.min_frequency_ghz, "min_frequency_ghz")
+        require_positive(self.max_frequency_ghz, "max_frequency_ghz")
+        require_positive(self.min_voltage_v, "min_voltage_v")
+        require_positive(self.max_voltage_v, "max_voltage_v")
+        if self.max_frequency_ghz <= self.min_frequency_ghz:
+            raise ModelDomainError("max_frequency_ghz must exceed min_frequency_ghz")
+        if self.max_voltage_v < self.min_voltage_v:
+            raise ModelDomainError("max_voltage_v must be >= min_voltage_v")
+
+    def voltage_for_frequency(self, frequency_ghz: float) -> float:
+        """Voltage needed to run at ``frequency_ghz`` (clamped to the range)."""
+        frequency_ghz = clamp(frequency_ghz, self.min_frequency_ghz, self.max_frequency_ghz)
+        span = self.max_frequency_ghz - self.min_frequency_ghz
+        fraction = (frequency_ghz - self.min_frequency_ghz) / span
+        return self.min_voltage_v + fraction * (self.max_voltage_v - self.min_voltage_v)
+
+    def frequency_for_voltage(self, voltage_v: float) -> float:
+        """Highest frequency sustainable at ``voltage_v`` (clamped to the range)."""
+        voltage_v = clamp(voltage_v, self.min_voltage_v, self.max_voltage_v)
+        span = self.max_voltage_v - self.min_voltage_v
+        if span == 0.0:
+            return self.max_frequency_ghz
+        fraction = (voltage_v - self.min_voltage_v) / span
+        return self.min_frequency_ghz + fraction * (
+            self.max_frequency_ghz - self.min_frequency_ghz
+        )
+
+
+#: CPU core voltage/frequency curve (0.8--4 GHz, 0.60--1.10 V).
+CORE_VF_CURVE = VoltageFrequencyCurve(
+    min_frequency_ghz=0.8,
+    max_frequency_ghz=4.0,
+    min_voltage_v=0.60,
+    max_voltage_v=1.10,
+)
+
+#: Graphics voltage/frequency curve (0.1--1.2 GHz, 0.55--1.00 V).
+GFX_VF_CURVE = VoltageFrequencyCurve(
+    min_frequency_ghz=0.1,
+    max_frequency_ghz=1.2,
+    min_voltage_v=0.55,
+    max_voltage_v=1.00,
+)
+
+#: Sustained CPU core frequency at each TDP (GHz).  The 4 W entry matches the
+#: 0.9 GHz maximum allowed frequency of the paper's 4 W SPEC evaluation; the
+#: high-TDP entries stay below the 4 GHz ceiling so that Turbo headroom exists
+#: for a better PDN to convert spared power into frequency (Sec. 3.3).
+_SUSTAINED_CORE_FREQUENCY_GHZ = LinearTable1D(
+    (4.0, 8.0, 10.0, 18.0, 25.0, 36.0, 50.0),
+    (0.9, 1.5, 1.8, 2.6, 2.95, 3.35, 3.70),
+)
+
+#: Sustained graphics frequency at each TDP (GHz); like the cores, the
+#: high-TDP entries leave headroom below the 1.2 GHz ceiling.
+_SUSTAINED_GFX_FREQUENCY_GHZ = LinearTable1D(
+    (4.0, 8.0, 10.0, 18.0, 25.0, 36.0, 50.0),
+    (0.30, 0.45, 0.55, 0.80, 0.92, 1.05, 1.12),
+)
+
+
+def sustained_core_frequency_ghz(tdp_w: float) -> float:
+    """Sustained CPU core frequency at ``tdp_w`` (GHz)."""
+    require_positive(tdp_w, "tdp_w")
+    return _SUSTAINED_CORE_FREQUENCY_GHZ(tdp_w)
+
+
+def sustained_gfx_frequency_ghz(tdp_w: float) -> float:
+    """Sustained graphics frequency at ``tdp_w`` (GHz)."""
+    require_positive(tdp_w, "tdp_w")
+    return _SUSTAINED_GFX_FREQUENCY_GHZ(tdp_w)
+
+
+def compute_voltage_for_tdp(tdp_w: float) -> float:
+    """CPU core supply voltage at the sustained operating point of ``tdp_w``."""
+    return CORE_VF_CURVE.voltage_for_frequency(sustained_core_frequency_ghz(tdp_w))
+
+
+def gfx_voltage_for_tdp(tdp_w: float, workload_type: WorkloadType) -> float:
+    """Graphics supply voltage at ``tdp_w`` for ``workload_type``.
+
+    Graphics-intensive workloads run the graphics engines at their sustained
+    frequency; other workloads keep them at the minimum voltage (or gated).
+    """
+    if workload_type is WorkloadType.GRAPHICS:
+        return GFX_VF_CURVE.voltage_for_frequency(sustained_gfx_frequency_ghz(tdp_w))
+    return GFX_VF_CURVE.min_voltage_v

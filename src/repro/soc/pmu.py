@@ -1,0 +1,224 @@
+"""Behavioural power-management unit (PMU).
+
+The PMU is the firmware agent that FlexWatts extends (Sec. 6).  The pieces the
+paper relies on, and which this model provides, are:
+
+* **Telemetry** -- the PMU always knows the runtime-configured TDP (cTDP), the
+  package power state, and -- via the activity sensors -- an estimate of the
+  application ratio; it classifies the workload type from which domains are
+  active (graphics engines active => graphics workload; more than one core
+  active with graphics idle => multi-threaded; one core => single-threaded).
+* **Package C-state flow** -- entering/exiting the package C6 state saves and
+  restores the compute domains' context to an always-on SRAM and gates their
+  clocks and voltages.  FlexWatts reuses exactly this flow for voltage-noise
+  free mode switching; the entry/exit latencies measured by the paper (45 us
+  in, ~30 us out) are exposed so the overhead model can account for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.power.domains import DomainKind, WorkloadType
+from repro.power.power_states import PackageCState
+from repro.soc.activity_sensors import ActivityMonitor
+from repro.util.errors import ModelDomainError
+from repro.util.validation import require_fraction, require_non_negative, require_positive
+
+
+#: Latency to place the package into the C6 idle state (Sec. 6, "45 us
+#: without voltage changes").
+PACKAGE_C6_ENTRY_LATENCY_S = 45e-6
+
+#: Latency to exit the package C6 idle state (Sec. 6, "about 30 us").
+PACKAGE_C6_EXIT_LATENCY_S = 30e-6
+
+
+@dataclass(frozen=True)
+class PmuTelemetry:
+    """The PMU-visible inputs of FlexWatts' mode-prediction algorithm.
+
+    These are exactly the four inputs of Algorithm 1: the configured TDP, the
+    estimated application ratio, the classified workload type and the package
+    power state.
+    """
+
+    tdp_w: float
+    application_ratio: float
+    workload_type: WorkloadType
+    power_state: PackageCState
+
+    def __post_init__(self) -> None:
+        require_positive(self.tdp_w, "tdp_w")
+        require_fraction(self.application_ratio, "application_ratio")
+
+
+@dataclass
+class _DomainActivity:
+    """Per-domain activity bookkeeping inside the PMU."""
+
+    active: bool = False
+    power_w: float = 0.0
+    activity_ratio: float = 0.0
+
+
+class PowerManagementUnit:
+    """Behavioural PMU: telemetry, workload classification and C-state flows.
+
+    Parameters
+    ----------
+    tdp_w:
+        The runtime-configured TDP (cTDP).
+    monitor:
+        The activity monitor aggregating the per-domain sensors.
+    evaluation_interval_s:
+        How often the PMU re-evaluates its power-management algorithms
+        (FlexWatts uses a 10 ms interval; sensors report every ~1 ms).
+    """
+
+    def __init__(
+        self,
+        tdp_w: float,
+        monitor: Optional[ActivityMonitor] = None,
+        evaluation_interval_s: float = 10e-3,
+    ):
+        require_positive(tdp_w, "tdp_w")
+        require_positive(evaluation_interval_s, "evaluation_interval_s")
+        self._tdp_w = tdp_w
+        self._monitor = monitor if monitor is not None else ActivityMonitor()
+        self._evaluation_interval_s = evaluation_interval_s
+        self._power_state = PackageCState.C0
+        self._domains: Dict[DomainKind, _DomainActivity] = {
+            kind: _DomainActivity() for kind in DomainKind
+        }
+        self._time_s = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Configuration / clock
+    # ------------------------------------------------------------------ #
+    @property
+    def tdp_w(self) -> float:
+        """The runtime-configured TDP."""
+        return self._tdp_w
+
+    def configure_tdp(self, tdp_w: float) -> None:
+        """Reconfigure the TDP at runtime (cTDP, Sec. 1)."""
+        require_positive(tdp_w, "tdp_w")
+        self._tdp_w = tdp_w
+
+    @property
+    def evaluation_interval_s(self) -> float:
+        """The PMU algorithm evaluation interval."""
+        return self._evaluation_interval_s
+
+    @property
+    def time_s(self) -> float:
+        """The PMU's notion of elapsed time (advanced by the simulator)."""
+        return self._time_s
+
+    def advance_time(self, interval_s: float) -> None:
+        """Advance the PMU clock by ``interval_s`` seconds."""
+        require_non_negative(interval_s, "interval_s")
+        self._time_s += interval_s
+
+    # ------------------------------------------------------------------ #
+    # Domain activity updates (fed by the simulator / workload player)
+    # ------------------------------------------------------------------ #
+    def update_domain(
+        self, domain: DomainKind, active: bool, power_w: float, activity_ratio: float
+    ) -> None:
+        """Update the PMU's view of one domain for the current interval."""
+        require_non_negative(power_w, "power_w")
+        require_fraction(activity_ratio, "activity_ratio")
+        record = self._domains[domain]
+        record.active = active
+        record.power_w = power_w if active else 0.0
+        record.activity_ratio = activity_ratio if active else 0.0
+        self._monitor.record(domain, record.activity_ratio)
+
+    # ------------------------------------------------------------------ #
+    # Package power-state flow
+    # ------------------------------------------------------------------ #
+    @property
+    def power_state(self) -> PackageCState:
+        """The current package power state."""
+        return self._power_state
+
+    def enter_power_state(self, state: PackageCState) -> float:
+        """Transition to ``state``; returns the transition latency in seconds.
+
+        Only the C6 entry/exit latencies are modelled explicitly because they
+        are the ones FlexWatts' mode-switch flow pays; other transitions are
+        treated as instantaneous at this level of abstraction.
+        """
+        if state == self._power_state:
+            return 0.0
+        latency = 0.0
+        if state is PackageCState.C6:
+            latency = PACKAGE_C6_ENTRY_LATENCY_S
+        elif self._power_state is PackageCState.C6 and state in (
+            PackageCState.C0,
+            PackageCState.C0_MIN,
+        ):
+            latency = PACKAGE_C6_EXIT_LATENCY_S
+        self._power_state = state
+        self._time_s += latency
+        return latency
+
+    # ------------------------------------------------------------------ #
+    # Workload classification and telemetry
+    # ------------------------------------------------------------------ #
+    def classify_workload(self) -> WorkloadType:
+        """Classify the running workload from domain activity (Sec. 6).
+
+        If the graphics engines are active the workload is graphics; if more
+        than one core is active (graphics idle) it is multi-threaded; if one
+        core is active it is single-threaded; otherwise the package is idle.
+        """
+        if self._domains[DomainKind.GFX].active:
+            return WorkloadType.GRAPHICS
+        active_cores = sum(
+            1
+            for kind in (DomainKind.CORE0, DomainKind.CORE1)
+            if self._domains[kind].active
+        )
+        if active_cores > 1:
+            return WorkloadType.CPU_MULTI_THREAD
+        if active_cores == 1:
+            return WorkloadType.CPU_SINGLE_THREAD
+        return WorkloadType.IDLE
+
+    def estimate_application_ratio(self) -> float:
+        """Power-weighted package AR estimate from the activity sensors."""
+        domain_power = {kind: record.power_w for kind, record in self._domains.items()}
+        return self._monitor.package_application_ratio(domain_power)
+
+    def telemetry(self) -> PmuTelemetry:
+        """Snapshot of the four Algorithm-1 inputs."""
+        return PmuTelemetry(
+            tdp_w=self._tdp_w,
+            application_ratio=self.estimate_application_ratio(),
+            workload_type=self.classify_workload(),
+            power_state=self._power_state,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Validation helpers
+    # ------------------------------------------------------------------ #
+    def require_idle_compute(self) -> None:
+        """Raise unless the compute domains are idle (guard for mode switching)."""
+        busy = [
+            kind.value
+            for kind in (DomainKind.CORE0, DomainKind.CORE1, DomainKind.GFX, DomainKind.LLC)
+            if self._domains[kind].active
+        ]
+        if busy and self._power_state not in (
+            PackageCState.C6,
+            PackageCState.C7,
+            PackageCState.C8,
+        ):
+            raise ModelDomainError(
+                "compute domains must be idle (package C6 or deeper) before "
+                "reconfiguring the hybrid PDN; still active: " + ", ".join(busy)
+            )

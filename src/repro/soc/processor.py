@@ -1,0 +1,193 @@
+"""The modelled client processor.
+
+:class:`Processor` ties the pieces of the SoC substrate together: it owns the
+static domain descriptions (Table 1), the DVFS curves, the nominal-power
+curves (Table 2), and it produces the per-domain loads (``DomainLoad``) that
+the PDN models consume for any combination of TDP, workload and package power
+state.  It is the model equivalent of the Broadwell/Skylake parts the paper
+measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.power.domains import (
+    DEFAULT_DOMAINS,
+    Domain,
+    DomainKind,
+    DomainLoad,
+    NominalPowerCurves,
+    WorkloadType,
+)
+from repro.power.power_states import PackageCState, POWER_STATE_PROFILES
+from repro.power.thermal import ThermalModel
+from repro.soc.dvfs import (
+    CORE_VF_CURVE,
+    GFX_VF_CURVE,
+    sustained_core_frequency_ghz,
+    sustained_gfx_frequency_ghz,
+)
+from repro.util.errors import ConfigurationError, ModelDomainError
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class ProcessorConfiguration:
+    """Static configuration of a modelled processor.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name (e.g. ``"client-2c-gt2"``).
+    tdp_w:
+        The configured thermal design power (cTDP); the paper sweeps this
+        between 4 W and 50 W.
+    core_count:
+        Number of CPU cores (the modelled part has two, sharing one
+        clock/voltage domain).
+    domains:
+        Static domain descriptions; defaults to Table 1/2.
+    curves:
+        Nominal-power-versus-TDP curves; defaults to Table 2.
+    """
+
+    name: str = "client-2c-gt2"
+    tdp_w: float = 15.0
+    core_count: int = 2
+    domains: Dict[DomainKind, Domain] = field(default_factory=lambda: dict(DEFAULT_DOMAINS))
+    curves: NominalPowerCurves = field(default_factory=NominalPowerCurves)
+
+    def __post_init__(self) -> None:
+        require_positive(self.tdp_w, "tdp_w")
+        if self.core_count < 1:
+            raise ConfigurationError("core_count must be at least 1")
+        missing = [kind for kind in DomainKind if kind not in self.domains]
+        if missing:
+            raise ConfigurationError(
+                "processor configuration missing domains: "
+                + ", ".join(kind.value for kind in missing)
+            )
+
+
+class Processor:
+    """Behavioural model of the client processor of Table 1."""
+
+    def __init__(self, configuration: Optional[ProcessorConfiguration] = None):
+        self.configuration = configuration if configuration is not None else ProcessorConfiguration()
+
+    @property
+    def tdp_w(self) -> float:
+        """The processor's configured TDP."""
+        return self.configuration.tdp_w
+
+    @property
+    def thermal_model(self) -> ThermalModel:
+        """Default (fan-less performance) thermal scenario for this TDP."""
+        return ThermalModel.for_performance_workload(self.configuration.tdp_w)
+
+    # ------------------------------------------------------------------ #
+    # Operating points
+    # ------------------------------------------------------------------ #
+    def sustained_core_frequency_ghz(self) -> float:
+        """CPU core frequency sustainable within the configured TDP."""
+        return sustained_core_frequency_ghz(self.configuration.tdp_w)
+
+    def sustained_gfx_frequency_ghz(self) -> float:
+        """Graphics frequency sustainable within the configured TDP."""
+        return sustained_gfx_frequency_ghz(self.configuration.tdp_w)
+
+    def core_voltage_v(self, frequency_ghz: Optional[float] = None) -> float:
+        """CPU core voltage at ``frequency_ghz`` (default: the sustained frequency)."""
+        if frequency_ghz is None:
+            frequency_ghz = self.sustained_core_frequency_ghz()
+        return CORE_VF_CURVE.voltage_for_frequency(frequency_ghz)
+
+    def gfx_voltage_v(self, frequency_ghz: Optional[float] = None) -> float:
+        """Graphics voltage at ``frequency_ghz`` (default: the sustained frequency)."""
+        if frequency_ghz is None:
+            frequency_ghz = self.sustained_gfx_frequency_ghz()
+        return GFX_VF_CURVE.voltage_for_frequency(frequency_ghz)
+
+    # ------------------------------------------------------------------ #
+    # Load generation
+    # ------------------------------------------------------------------ #
+    def loads_for_workload(self, workload_type: WorkloadType) -> List[DomainLoad]:
+        """Per-domain loads for an active workload at the sustained operating point."""
+        config = self.configuration
+        curves = config.curves
+        tdp = config.tdp_w
+        core_voltage = self.core_voltage_v()
+        graphics = workload_type is WorkloadType.GRAPHICS
+        gfx_voltage = self.gfx_voltage_v() if graphics else GFX_VF_CURVE.min_voltage_v
+        llc_voltage = gfx_voltage if graphics else core_voltage
+        cores_power = curves.cores_power_w(tdp, workload_type)
+        gfx_power = curves.gfx_power_w(tdp, workload_type)
+        llc_power = curves.llc_power_w(tdp, workload_type)
+        sa_power, io_power = curves.uncore_power_w(tdp)
+        domains = config.domains
+        per_core_power = cores_power / config.core_count
+        loads: List[DomainLoad] = []
+        for index, kind in enumerate((DomainKind.CORE0, DomainKind.CORE1)):
+            core_active = workload_type is not WorkloadType.IDLE and (
+                index == 0 or workload_type is not WorkloadType.CPU_SINGLE_THREAD
+            )
+            loads.append(
+                DomainLoad(
+                    kind=kind,
+                    nominal_power_w=per_core_power if core_active else curves.idle_compute_w,
+                    voltage_v=core_voltage,
+                    leakage_fraction=domains[kind].leakage_fraction,
+                    active=True,
+                )
+            )
+        loads.append(
+            DomainLoad(
+                kind=DomainKind.LLC,
+                nominal_power_w=llc_power,
+                voltage_v=llc_voltage,
+                leakage_fraction=domains[DomainKind.LLC].leakage_fraction,
+            )
+        )
+        loads.append(
+            DomainLoad(
+                kind=DomainKind.GFX,
+                nominal_power_w=gfx_power,
+                voltage_v=gfx_voltage,
+                leakage_fraction=domains[DomainKind.GFX].leakage_fraction,
+                active=graphics or gfx_power > 0.0,
+            )
+        )
+        loads.append(
+            DomainLoad(
+                kind=DomainKind.SA,
+                nominal_power_w=sa_power,
+                voltage_v=domains[DomainKind.SA].fixed_voltage_v,
+                leakage_fraction=domains[DomainKind.SA].leakage_fraction,
+                power_gated_rail=False,
+            )
+        )
+        loads.append(
+            DomainLoad(
+                kind=DomainKind.IO,
+                nominal_power_w=io_power,
+                voltage_v=domains[DomainKind.IO].fixed_voltage_v,
+                leakage_fraction=domains[DomainKind.IO].leakage_fraction,
+                power_gated_rail=False,
+            )
+        )
+        return loads
+
+    def loads_for_power_state(self, power_state: PackageCState) -> List[DomainLoad]:
+        """Per-domain loads for a package power state (C0_MIN and deeper)."""
+        if power_state not in POWER_STATE_PROFILES:
+            raise ModelDomainError(
+                f"power state {power_state} has no default profile; "
+                "use loads_for_workload for C0"
+            )
+        return POWER_STATE_PROFILES[power_state].loads()
+
+    def nominal_power_w(self, workload_type: WorkloadType) -> float:
+        """Total nominal domain power at the sustained operating point."""
+        return sum(load.effective_power_w for load in self.loads_for_workload(workload_type))

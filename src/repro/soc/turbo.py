@@ -1,0 +1,78 @@
+"""A simple Turbo-Boost model.
+
+Modern client processors briefly exceed their sustained operating point when
+thermal headroom is available (Intel Turbo Boost, Sec. 1/2 of the paper).
+Turbo matters to PDN design because the *peak* current a PDN must support is
+set by these excursions, and because FlexWatts switches its hybrid regulators
+to IVR-Mode when a high-power (Turbo) workload is requested (Sec. 7.1).
+
+The model is a budget/bucket model: running below the TDP accumulates energy
+credit (up to a cap), and Turbo spends that credit at a higher power level
+until it is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ModelDomainError
+from repro.util.validation import require_non_negative, require_positive
+
+
+@dataclass
+class TurboBoostModel:
+    """Energy-credit Turbo model.
+
+    Attributes
+    ----------
+    tdp_w:
+        The sustained power limit (PL1 in Intel terminology).
+    turbo_power_w:
+        The short-term power limit during Turbo (PL2), typically ~1.25-2x TDP.
+    credit_capacity_j:
+        Maximum accumulated energy credit (the size of the thermal "bucket").
+    credit_j:
+        Currently accumulated credit.
+    """
+
+    tdp_w: float
+    turbo_power_w: float
+    credit_capacity_j: float = 10.0
+    credit_j: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.tdp_w, "tdp_w")
+        require_positive(self.turbo_power_w, "turbo_power_w")
+        require_positive(self.credit_capacity_j, "credit_capacity_j")
+        require_non_negative(self.credit_j, "credit_j")
+        if self.turbo_power_w < self.tdp_w:
+            raise ModelDomainError("turbo_power_w must be at least the TDP")
+        self.credit_j = min(self.credit_j, self.credit_capacity_j)
+
+    @classmethod
+    def for_tdp(cls, tdp_w: float, boost_ratio: float = 1.5) -> "TurboBoostModel":
+        """Build a Turbo model with a conventional PL2/PL1 ratio."""
+        require_positive(boost_ratio, "boost_ratio")
+        return cls(tdp_w=tdp_w, turbo_power_w=tdp_w * boost_ratio, credit_capacity_j=2.5 * tdp_w)
+
+    def accumulate(self, package_power_w: float, interval_s: float) -> None:
+        """Account one interval of execution at ``package_power_w``.
+
+        Running below TDP earns credit; running above TDP spends it.
+        """
+        require_non_negative(package_power_w, "package_power_w")
+        require_non_negative(interval_s, "interval_s")
+        delta_j = (self.tdp_w - package_power_w) * interval_s
+        self.credit_j = max(0.0, min(self.credit_capacity_j, self.credit_j + delta_j))
+
+    def available_power_w(self) -> float:
+        """Package power currently allowed (TDP, or the Turbo limit with credit)."""
+        return self.turbo_power_w if self.credit_j > 0.0 else self.tdp_w
+
+    def turbo_duration_s(self, package_power_w: float) -> float:
+        """How long Turbo can sustain ``package_power_w`` with the current credit."""
+        require_positive(package_power_w, "package_power_w")
+        overshoot_w = package_power_w - self.tdp_w
+        if overshoot_w <= 0.0:
+            return float("inf")
+        return self.credit_j / overshoot_w

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the FlexWatts / PDNspot reproduction.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch library errors without also catching
+programming errors such as :class:`TypeError`.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a model is constructed with inconsistent parameters.
+
+    Examples include a processor whose thermal design power is smaller than the
+    sum of the always-on domain floors, a voltage regulator whose output
+    voltage exceeds its input voltage in regulation mode, or a PDN description
+    that references a domain the processor does not have.
+    """
+
+
+class ModelDomainError(ReproError):
+    """Raised when a model is evaluated outside its validated domain.
+
+    The PDNspot models are behavioural and calibrated over specific ranges
+    (e.g. TDP between 4 W and 50 W, application ratio between 0 and 1).
+    Evaluating outside those ranges would silently extrapolate, so the models
+    raise this error instead.
+    """
+
+
+class UnsupportedOperatingPointError(ReproError):
+    """Raised when an operating point cannot be supported physically.
+
+    For example, requesting an LDO regulator to produce an output voltage above
+    its input voltage, or drawing more current from a voltage regulator than
+    its electrical design maximum (Iccmax).
+    """

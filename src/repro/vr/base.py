@@ -1,0 +1,98 @@
+"""Common interface for voltage-regulator models.
+
+Every regulator in this library converts an input voltage to an output voltage
+and is characterised by a *power-conversion efficiency* (Eq. 1 of the paper)::
+
+    efficiency = P_out / P_in = P_out / (P_out + P_loss)
+
+The efficiency of a real regulator depends on the operating point -- the
+input voltage, the output voltage, the load current, and (for multi-phase
+switching regulators) the regulator's own power state.  The
+:class:`RegulatorOperatingPoint` dataclass captures that operating point, and
+:class:`VoltageRegulator` defines the interface all regulator models share.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.util.errors import UnsupportedOperatingPointError
+from repro.util.validation import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class RegulatorOperatingPoint:
+    """An operating point of a voltage regulator.
+
+    Attributes
+    ----------
+    input_voltage_v:
+        Voltage at the regulator input, in volts.
+    output_voltage_v:
+        Desired regulated voltage at the regulator output, in volts.
+    output_current_a:
+        Load current drawn from the regulator output, in amps.
+    """
+
+    input_voltage_v: float
+    output_voltage_v: float
+    output_current_a: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.input_voltage_v, "input_voltage_v")
+        require_non_negative(self.output_voltage_v, "output_voltage_v")
+        require_non_negative(self.output_current_a, "output_current_a")
+
+    @property
+    def output_power_w(self) -> float:
+        """Power delivered to the load, in watts."""
+        return self.output_voltage_v * self.output_current_a
+
+    def with_current(self, output_current_a: float) -> "RegulatorOperatingPoint":
+        """Return a copy of this operating point with a different load current."""
+        return RegulatorOperatingPoint(
+            input_voltage_v=self.input_voltage_v,
+            output_voltage_v=self.output_voltage_v,
+            output_current_a=output_current_a,
+        )
+
+
+class VoltageRegulator(abc.ABC):
+    """Abstract base class for all voltage-regulator models."""
+
+    #: Human-readable regulator name, used in reports and loss breakdowns.
+    name: str = "vr"
+
+    @abc.abstractmethod
+    def efficiency(self, point: RegulatorOperatingPoint) -> float:
+        """Return the power-conversion efficiency at ``point`` (0 < eta <= 1)."""
+
+    def input_power_w(self, point: RegulatorOperatingPoint) -> float:
+        """Power drawn from the regulator input to deliver ``point``'s output power.
+
+        This is Eq. 1 rearranged: ``P_in = P_out / efficiency``.  A zero output
+        power returns the regulator's idle (quiescent) power, which defaults to
+        zero for idealised regulators.
+        """
+        output_power = point.output_power_w
+        if output_power == 0.0:
+            return self.idle_power_w()
+        eta = self.efficiency(point)
+        if not 0.0 < eta <= 1.0:
+            raise UnsupportedOperatingPointError(
+                f"{self.name}: efficiency {eta!r} outside (0, 1] at {point}"
+            )
+        return output_power / eta
+
+    def loss_w(self, point: RegulatorOperatingPoint) -> float:
+        """Power dissipated inside the regulator at ``point``, in watts."""
+        return self.input_power_w(point) - point.output_power_w
+
+    def idle_power_w(self) -> float:
+        """Power drawn by the regulator when its load is fully idle.
+
+        Idealised regulators return 0; switching regulators override this with
+        their controller quiescent power.
+        """
+        return 0.0

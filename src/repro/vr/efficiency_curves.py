@@ -1,0 +1,140 @@
+"""Factory functions for the default regulator designs of Table 2 / Fig. 3.
+
+The paper obtains its regulator efficiency curves from lab measurements on
+Broadwell/Skylake platforms (Sec. 4.2).  This module encodes behavioural
+designs whose efficiency surfaces land inside the published ranges:
+
+* off-chip (board) switching regulators: 72 %--93 % over the operational range
+  (Fig. 3: roughly 45--55 % at 0.1 A in PS0, rising to 85--93 % at several
+  amps; PS1 considerably better at light load and slightly worse at heavy
+  load; higher output voltages uniformly more efficient),
+* on-chip IVRs: 81 %--88 %,
+* on-chip LDO regulators: ``(Vout / Vin) * 99.1 %``.
+
+Keeping every coefficient in one module makes the calibration auditable and
+lets experiments build perturbed designs for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from repro.vr.integrated import IntegratedVoltageRegulator, IntegratedVrDesign
+from repro.vr.ldo import LowDropoutRegulator
+from repro.vr.switching import (
+    PhaseConfiguration,
+    SwitchingRegulator,
+    SwitchingRegulatorDesign,
+    VRPowerState,
+)
+
+#: Default LDO current efficiency from Table 2 (99.1 %).
+DEFAULT_LDO_CURRENT_EFFICIENCY = 0.991
+
+#: Default input voltage delivered by the first-stage (V_IN) regulator when the
+#: second stage is a switching IVR (Sec. 2.3).
+DEFAULT_IVR_INPUT_VOLTAGE_V = 1.8
+
+#: Default motherboard input voltage from the power supply or battery.
+DEFAULT_SUPPLY_VOLTAGE_V = 7.2
+
+
+def _board_phase_configs(iccmax_a: float) -> dict:
+    """Build the per-power-state loss coefficients of a board regulator.
+
+    Fixed (quiescent) losses scale weakly with the regulator's current rating:
+    a regulator designed for a higher Iccmax uses more/larger phases, whose
+    bias and gate-drive overheads are larger.  Conduction resistance scales
+    inversely with the rating (more phases in parallel).
+    """
+    size_factor = max(iccmax_a, 1.0)
+    quiescent_ps0 = 0.035 + 0.0008 * size_factor
+    conduction_ps0 = 0.011 * (20.0 / size_factor) ** 0.3
+    return {
+        VRPowerState.PS0: PhaseConfiguration(
+            quiescent_w=quiescent_ps0,
+            switching_w_per_v_a=0.008,
+            conduction_ohm=conduction_ps0,
+            drive_w_per_a=0.010,
+        ),
+        VRPowerState.PS1: PhaseConfiguration(
+            quiescent_w=0.25 * quiescent_ps0,
+            switching_w_per_v_a=0.005,
+            conduction_ohm=4.0 * conduction_ps0,
+            drive_w_per_a=0.008,
+        ),
+        VRPowerState.PS3: PhaseConfiguration(
+            quiescent_w=0.08 * quiescent_ps0,
+            switching_w_per_v_a=0.004,
+            conduction_ohm=10.0 * conduction_ps0,
+            drive_w_per_a=0.006,
+        ),
+        VRPowerState.PS4: PhaseConfiguration(
+            quiescent_w=0.02 * quiescent_ps0,
+            switching_w_per_v_a=0.003,
+            conduction_ohm=25.0 * conduction_ps0,
+            drive_w_per_a=0.005,
+        ),
+    }
+
+
+def default_board_vr(name: str, iccmax_a: float) -> SwitchingRegulator:
+    """Build a default motherboard switching regulator.
+
+    Used for the per-domain regulators of the MBVR PDN (``V_Cores``, ``V_GFX``,
+    ``V_SA``, ``V_IO``) and for the dedicated SA/IO regulators of the LDO,
+    I+MBVR and FlexWatts PDNs.  The input is the platform supply
+    (7.2 V--20 V); the output is a domain voltage (0.5 V--1.8 V).
+    """
+    design = SwitchingRegulatorDesign(
+        name=name,
+        iccmax_a=iccmax_a,
+        min_headroom_v=0.6,
+        regulation_penalty=0.004,
+        max_efficiency=0.93,
+        phase_configs=_board_phase_configs(iccmax_a),
+    )
+    return SwitchingRegulator(design)
+
+
+def default_input_vr(name: str = "V_IN", iccmax_a: float = 40.0) -> SwitchingRegulator:
+    """Build the first-stage ``V_IN`` regulator shared by IVR/LDO-style PDNs.
+
+    ``V_IN`` converts the platform supply (7.2 V--20 V) either to ~1.8 V (when
+    the second stage is an IVR) or directly to the maximum domain voltage
+    (when the second stage is an LDO in bypass/regulation).  It is a large,
+    multi-phase regulator, so its quiescent losses are a little higher but its
+    conduction resistance lower than a per-domain board regulator.
+    """
+    design = SwitchingRegulatorDesign(
+        name=name,
+        iccmax_a=iccmax_a,
+        min_headroom_v=0.6,
+        regulation_penalty=0.004,
+        max_efficiency=0.93,
+        phase_configs=_board_phase_configs(iccmax_a),
+    )
+    return SwitchingRegulator(design)
+
+
+def default_ivr(name: str, iccmax_a: float = 25.0) -> IntegratedVoltageRegulator:
+    """Build a default on-chip integrated voltage regulator (81 %--88 %)."""
+    design = IntegratedVrDesign(
+        name=name,
+        iccmax_a=iccmax_a,
+        peak_efficiency=0.88,
+        light_load_penalty=0.10,
+        light_load_current_a=1.5,
+        reference_output_v=1.1,
+        conversion_penalty_per_v=0.05,
+        quiescent_w=0.015,
+    )
+    return IntegratedVoltageRegulator(design)
+
+
+def default_ldo(name: str) -> LowDropoutRegulator:
+    """Build a default on-chip LDO regulator (Eq. 10, Ie = 99.1 %)."""
+    return LowDropoutRegulator(
+        name=name,
+        current_efficiency=DEFAULT_LDO_CURRENT_EFFICIENCY,
+        dropout_voltage_v=0.02,
+        bypass_resistance_ohm=0.0015,
+    )

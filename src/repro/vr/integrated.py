@@ -1,0 +1,125 @@
+"""Integrated (on-chip) switching voltage regulator model.
+
+The IVR PDN integrates most of a buck converter onto the processor die and
+package (Sec. 2.3): bridges, control, MIM capacitors on die, air-core
+inductors on package.  The paper measures the resulting power-conversion
+efficiency on a Broadwell part in a design-for-test mode and reports a range
+of 81 %--88 % (Table 2), as a function of input voltage, output voltage and
+output current.
+
+Rather than a circuit-level loss decomposition (which the paper argues is
+inaccurate for these heavily tuned designs), the IVR is modelled with a
+behavioural efficiency surface:
+
+* a *peak efficiency* reached at moderate-to-heavy load with an output voltage
+  close to the top of the domain's range,
+* a *light-load penalty* that decays exponentially with the output current
+  (fixed control and switching overheads amortise poorly at light load), and
+* a *conversion penalty* that grows as the output voltage drops further below
+  the reference voltage (duty-cycle losses).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.errors import UnsupportedOperatingPointError
+from repro.util.validation import require_fraction, require_non_negative, require_positive
+from repro.vr.base import RegulatorOperatingPoint, VoltageRegulator
+
+
+@dataclass(frozen=True)
+class IntegratedVrDesign:
+    """Behavioural design parameters of an on-chip IVR.
+
+    Attributes
+    ----------
+    name:
+        Regulator instance name (e.g. ``"IVR_Core0"``).
+    iccmax_a:
+        Maximum current the regulator phases can deliver.
+    peak_efficiency:
+        Efficiency at heavy load with the reference output voltage (the top of
+        Table 2's 81--88 % range).
+    light_load_penalty:
+        Efficiency lost at zero load relative to the peak; decays with current.
+    light_load_current_a:
+        Current scale of the light-load penalty decay (amps).
+    reference_output_v:
+        Output voltage at which the conversion penalty is zero.
+    conversion_penalty_per_v:
+        Efficiency lost per volt of output voltage below the reference.
+    quiescent_w:
+        Control/bias power drawn even when the domain is idle but the
+        regulator is kept enabled.
+    """
+
+    name: str
+    iccmax_a: float
+    peak_efficiency: float = 0.88
+    light_load_penalty: float = 0.07
+    light_load_current_a: float = 1.0
+    reference_output_v: float = 1.1
+    conversion_penalty_per_v: float = 0.05
+    quiescent_w: float = 0.015
+
+    def __post_init__(self) -> None:
+        require_positive(self.iccmax_a, "iccmax_a")
+        require_fraction(self.peak_efficiency, "peak_efficiency")
+        require_fraction(self.light_load_penalty, "light_load_penalty")
+        require_positive(self.light_load_current_a, "light_load_current_a")
+        require_positive(self.reference_output_v, "reference_output_v")
+        require_non_negative(self.conversion_penalty_per_v, "conversion_penalty_per_v")
+        require_non_negative(self.quiescent_w, "quiescent_w")
+
+
+class IntegratedVoltageRegulator(VoltageRegulator):
+    """Behavioural model of an on-chip (fully integrated) voltage regulator."""
+
+    def __init__(self, design: IntegratedVrDesign):
+        self._design = design
+        self.name = design.name
+
+    @property
+    def design(self) -> IntegratedVrDesign:
+        """The regulator's behavioural design parameters."""
+        return self._design
+
+    @property
+    def iccmax_a(self) -> float:
+        """Maximum supported load current in amps."""
+        return self._design.iccmax_a
+
+    def efficiency(self, point: RegulatorOperatingPoint) -> float:
+        """Power-conversion efficiency at ``point``.
+
+        The surface is ``peak - light_load_penalty * exp(-I / I0) -
+        conversion_penalty * max(0, Vref - Vout)``, floored at 50 % so that a
+        degenerate operating point never produces a nonsensical efficiency.
+        """
+        design = self._design
+        if point.output_current_a > design.iccmax_a:
+            raise UnsupportedOperatingPointError(
+                f"{self.name}: load current {point.output_current_a:.2f} A exceeds "
+                f"Iccmax of {design.iccmax_a:.2f} A"
+            )
+        if point.output_voltage_v >= point.input_voltage_v:
+            raise UnsupportedOperatingPointError(
+                f"{self.name}: a buck IVR cannot produce {point.output_voltage_v:.3f} V "
+                f"from a {point.input_voltage_v:.3f} V input"
+            )
+        if point.output_power_w == 0.0:
+            return 0.0
+        light_load = design.light_load_penalty * math.exp(
+            -point.output_current_a / design.light_load_current_a
+        )
+        conversion = design.conversion_penalty_per_v * max(
+            0.0, design.reference_output_v - point.output_voltage_v
+        )
+        efficiency = design.peak_efficiency - light_load - conversion
+        return max(0.5, min(efficiency, design.peak_efficiency))
+
+    def idle_power_w(self) -> float:
+        """Control/bias power while enabled with an idle load."""
+        return self._design.quiescent_w

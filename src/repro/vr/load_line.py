@@ -1,0 +1,130 @@
+"""Load-line (adaptive voltage positioning) model.
+
+The load-line describes the relationship between the voltage seen at the load
+and the current drawn by the load under a given distribution impedance
+``R_LL`` (Sec. 2.4)::
+
+    Vcc = V_IN - V_TOB - R_LL * Icc
+
+Because the voltage sags as current rises, the regulator's set point must
+include enough guardband that the load still sees its minimum functional
+voltage while running the most intensive possible workload (the *power virus*,
+for which the application ratio AR = 1).  The paper folds this into the ETEE
+models with Eq. 3/4 (MBVR per-domain rails) and Eq. 7/8 (the shared ``V_IN``
+rail of the IVR/LDO PDNs):
+
+    V_D_LL = V_D + (P_peak / V_D) * R_LL          (Eq. 3 / Eq. 7)
+    P_D_LL = V_D_LL * (P_D / V_D)                 (Eq. 4 / Eq. 8)
+
+where ``P_peak = P_D / AR`` is the peak (power-virus) power the guardband must
+cover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ModelDomainError
+from repro.util.validation import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class LoadLineResult:
+    """Result of applying the load-line guardband to a rail.
+
+    Attributes
+    ----------
+    rail_voltage_v:
+        The raised rail voltage ``V_LL`` after guardbanding (Eq. 3 / Eq. 7).
+    rail_power_w:
+        The power drawn from the rail after guardbanding (Eq. 4 / Eq. 8).
+    rail_current_a:
+        The current drawn from the rail (unchanged by the guardband; the
+        voltage is raised, not the current).
+    conduction_loss_w:
+        The extra power burned because of the load-line guardband
+        (``rail_power_w`` minus the pre-guardband power).
+    """
+
+    rail_voltage_v: float
+    rail_power_w: float
+    rail_current_a: float
+    conduction_loss_w: float
+
+
+@dataclass(frozen=True)
+class LoadLine:
+    """A load-line with a fixed distribution impedance.
+
+    Parameters
+    ----------
+    impedance_ohm:
+        The distribution impedance ``R_LL`` in ohms (Table 2 quotes values in
+        milliohms: e.g. 1 mOhm for the IVR input rail, 2.5 mOhm for the MBVR
+        core rail).
+    """
+
+    impedance_ohm: float
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.impedance_ohm, "impedance_ohm")
+
+    def voltage_droop_v(self, current_a: float) -> float:
+        """Voltage drop across the load-line at ``current_a`` amps."""
+        require_non_negative(current_a, "current_a")
+        return self.impedance_ohm * current_a
+
+    def apply(
+        self,
+        rail_voltage_v: float,
+        rail_power_w: float,
+        application_ratio: float,
+    ) -> LoadLineResult:
+        """Apply the load-line guardband of Eq. 3/4 (or Eq. 7/8) to a rail.
+
+        Parameters
+        ----------
+        rail_voltage_v:
+            Nominal rail voltage ``V_D`` (or ``V_IN``) before guardbanding.
+        rail_power_w:
+            Power drawn by the loads on this rail before guardbanding
+            (``P_D`` or ``P_IN``).
+        application_ratio:
+            The workload's application ratio (AR); the peak power the
+            guardband must cover is ``rail_power_w / AR``.
+        """
+        require_positive(rail_voltage_v, "rail_voltage_v")
+        require_non_negative(rail_power_w, "rail_power_w")
+        if not 0.0 < application_ratio <= 1.0:
+            raise ModelDomainError(
+                f"application_ratio must be in (0, 1], got {application_ratio!r}"
+            )
+        if rail_power_w == 0.0:
+            return LoadLineResult(
+                rail_voltage_v=rail_voltage_v,
+                rail_power_w=0.0,
+                rail_current_a=0.0,
+                conduction_loss_w=0.0,
+            )
+        peak_power_w = rail_power_w / application_ratio
+        peak_current_a = peak_power_w / rail_voltage_v
+        guardbanded_voltage_v = rail_voltage_v + self.impedance_ohm * peak_current_a
+        rail_current_a = rail_power_w / rail_voltage_v
+        guardbanded_power_w = guardbanded_voltage_v * rail_current_a
+        return LoadLineResult(
+            rail_voltage_v=guardbanded_voltage_v,
+            rail_power_w=guardbanded_power_w,
+            rail_current_a=rail_current_a,
+            conduction_loss_w=guardbanded_power_w - rail_power_w,
+        )
+
+    def scaled(self, factor: float) -> "LoadLine":
+        """Return a load-line with the impedance scaled by ``factor``.
+
+        FlexWatts' hybrid regulator shares routing resources between its IVR
+        and LDO modes, which slightly raises the effective load-line compared
+        to a dedicated design (Sec. 7.1); experiments model that with a scale
+        factor slightly above 1.
+        """
+        require_non_negative(factor, "factor")
+        return LoadLine(impedance_ohm=self.impedance_ohm * factor)

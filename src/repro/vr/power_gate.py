@@ -1,0 +1,73 @@
+"""On-chip power-gate model.
+
+A power gate is a wide transistor switch inserted between a domain's supply
+rail and the domain itself.  When the domain is idle, the gate opens and the
+domain draws (nearly) no power.  When the domain is active, the gate is closed
+and its small series impedance causes a voltage drop, which the upstream
+regulator must compensate for by raising its output voltage -- adding a small
+amount of guardband power (Sec. 3.1 of the paper, the ``P_PG`` term).
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import require_non_negative
+from repro.vr.base import RegulatorOperatingPoint, VoltageRegulator
+
+
+class PowerGate(VoltageRegulator):
+    """Behavioural model of an on-chip power gate.
+
+    Parameters
+    ----------
+    name:
+        Instance name (e.g. ``"PG_Core0"``).
+    impedance_ohm:
+        Series resistance of the closed gate.  Table 2 quotes 1--2 mOhm
+        depending on the domain.
+    closed:
+        Whether the gate is initially conducting (domain active).
+    """
+
+    def __init__(self, name: str = "power_gate", impedance_ohm: float = 0.0015, closed: bool = True):
+        self.name = name
+        self._impedance_ohm = require_non_negative(impedance_ohm, "impedance_ohm")
+        self._closed = closed
+
+    @property
+    def impedance_ohm(self) -> float:
+        """Series resistance of the closed gate, in ohms."""
+        return self._impedance_ohm
+
+    @property
+    def closed(self) -> bool:
+        """Whether the gate is conducting."""
+        return self._closed
+
+    def open(self) -> None:
+        """Open the gate, disconnecting the domain (idle)."""
+        self._closed = False
+
+    def close(self) -> None:
+        """Close the gate, connecting the domain (active)."""
+        self._closed = True
+
+    def voltage_drop_v(self, current_a: float) -> float:
+        """Voltage dropped across the closed gate at ``current_a`` amps."""
+        require_non_negative(current_a, "current_a")
+        if not self._closed:
+            return 0.0
+        return self._impedance_ohm * current_a
+
+    def efficiency(self, point: RegulatorOperatingPoint) -> float:
+        """Fraction of input power that reaches the domain through the gate."""
+        if not self._closed or point.output_power_w == 0.0:
+            return 0.0
+        drop_v = self.voltage_drop_v(point.output_current_a)
+        supply_v = point.output_voltage_v + drop_v
+        return point.output_voltage_v / supply_v
+
+    def input_power_w(self, point: RegulatorOperatingPoint) -> float:
+        """Power drawn upstream of the gate, including the resistive drop."""
+        if not self._closed or point.output_power_w == 0.0:
+            return 0.0
+        return super().input_power_w(point)

@@ -1,0 +1,67 @@
+"""Voltage-regulator tolerance band (TOB) model.
+
+The tolerance band of a regulator is the maximum voltage deviation across
+temperature, manufacturing variation and ageing (Sec. 2.4).  To guarantee the
+load always sees at least its nominal voltage, the regulator's set point is
+raised by the tolerance band, and the excess voltage turns into wasted power
+(modelled by the guardband equation, Eq. 2).
+
+The paper decomposes the tolerance band into controller tolerance, current
+sense variation and voltage ripple; we keep that decomposition so experiments
+can perturb individual components (e.g. what-if analysis of a better
+controller).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require_non_negative
+
+
+@dataclass(frozen=True)
+class ToleranceBand:
+    """Tolerance-band decomposition of a voltage regulator.
+
+    All components are expressed in volts.  Table 2 of the paper quotes total
+    tolerance bands of 18--22 mV for the IVR PDN, 18--20 mV for the MBVR PDN
+    and 16--18 mV for the LDO PDN.
+    """
+
+    controller_v: float
+    current_sense_v: float
+    ripple_v: float
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.controller_v, "controller_v")
+        require_non_negative(self.current_sense_v, "current_sense_v")
+        require_non_negative(self.ripple_v, "ripple_v")
+
+    @property
+    def total_v(self) -> float:
+        """Total voltage guardband required to cover the tolerance band."""
+        return self.controller_v + self.current_sense_v + self.ripple_v
+
+    @classmethod
+    def from_total(cls, total_v: float) -> "ToleranceBand":
+        """Build a tolerance band from a total value using typical proportions.
+
+        The split (50 % controller, 30 % current sense, 20 % ripple) follows the
+        qualitative description in Sec. 2.4; only the total matters for the
+        power models.
+        """
+        require_non_negative(total_v, "total_v")
+        return cls(
+            controller_v=0.5 * total_v,
+            current_sense_v=0.3 * total_v,
+            ripple_v=0.2 * total_v,
+        )
+
+    def scaled(self, factor: float) -> "ToleranceBand":
+        """Return a tolerance band with every component scaled by ``factor``."""
+        require_non_negative(factor, "factor")
+        return ToleranceBand(
+            controller_v=self.controller_v * factor,
+            current_sense_v=self.current_sense_v * factor,
+            ripple_v=self.ripple_v * factor,
+        )

@@ -1,0 +1,45 @@
+"""Workload substrate.
+
+The paper drives its evaluation with ~5000 proprietary traces from SPEC
+CPU2006, 3DMark06 and battery-life suites (MobileMark, video playback, ...).
+Those traces are not redistributable, so this package provides synthetic
+equivalents that expose the exact observable features the PDNspot models
+consume: application ratio, workload type, per-phase power-state residencies,
+and performance scalability.
+
+* :mod:`repro.workloads.base` -- the :class:`Benchmark`, :class:`WorkloadPhase`
+  and :class:`WorkloadTrace` dataclasses.
+* :mod:`repro.workloads.spec_cpu2006` -- the 29 SPEC CPU2006 benchmarks with
+  per-benchmark performance scalability ordered as in Fig. 7.
+* :mod:`repro.workloads.graphics` -- the 3DMark06 graphics suite.
+* :mod:`repro.workloads.battery_life` -- the four battery-life workloads
+  (video playback, video conferencing, web browsing, light gaming) with their
+  package power-state residencies.
+* :mod:`repro.workloads.synthetic` -- seeded trace generators (including the
+  power-virus trace) used by the validation experiments and property tests.
+"""
+
+from repro.workloads.base import Benchmark, WorkloadPhase, WorkloadTrace
+from repro.workloads.spec_cpu2006 import SPEC_CPU2006_BENCHMARKS, spec_cpu2006_suite
+from repro.workloads.graphics import THREEDMARK06_BENCHMARKS, graphics_suite
+from repro.workloads.battery_life import (
+    BATTERY_LIFE_WORKLOADS,
+    BatteryLifeWorkload,
+    battery_life_suite,
+)
+from repro.workloads.synthetic import SyntheticTraceGenerator, power_virus_benchmark
+
+__all__ = [
+    "Benchmark",
+    "WorkloadPhase",
+    "WorkloadTrace",
+    "SPEC_CPU2006_BENCHMARKS",
+    "spec_cpu2006_suite",
+    "THREEDMARK06_BENCHMARKS",
+    "graphics_suite",
+    "BatteryLifeWorkload",
+    "BATTERY_LIFE_WORKLOADS",
+    "battery_life_suite",
+    "SyntheticTraceGenerator",
+    "power_virus_benchmark",
+]

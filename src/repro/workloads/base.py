@@ -1,0 +1,150 @@
+"""Workload, benchmark and trace datatypes.
+
+Three levels of description are used throughout the library:
+
+* :class:`Benchmark` -- a steady-state workload summarised by the features the
+  PDNspot models consume: its type, its application ratio and its performance
+  scalability (how much faster it runs per 1 % of extra frequency, Sec. 3.3).
+* :class:`WorkloadPhase` -- one interval of a time-varying workload: a package
+  power state, an optional active benchmark, and a residency or duration.
+* :class:`WorkloadTrace` -- an ordered sequence of phases, either as residency
+  fractions (battery-life workloads) or as timed intervals (for the interval
+  simulator in :mod:`repro.sim`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.power.domains import WorkloadType
+from repro.power.power_states import PackageCState
+from repro.util.errors import ConfigurationError
+from repro.util.validation import require_fraction, require_non_negative
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """A steady-state benchmark summarised by its model-visible features.
+
+    Attributes
+    ----------
+    name:
+        Benchmark name (e.g. ``"416.gamess"``).
+    workload_type:
+        Which of the model's workload classes it belongs to.
+    performance_scalability:
+        Fractional performance improvement per fractional frequency
+        improvement (0 = memory/IO bound, 1 = fully core bound).  Modern
+        processors predict this at runtime from performance counters
+        (Sec. 3.3); here it is part of the benchmark description.
+    application_ratio:
+        The benchmark's average application ratio (AR).
+    """
+
+    name: str
+    workload_type: WorkloadType
+    performance_scalability: float
+    application_ratio: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a benchmark needs a non-empty name")
+        require_fraction(self.performance_scalability, "performance_scalability")
+        if not 0.0 < self.application_ratio <= 1.0:
+            raise ConfigurationError(
+                f"application_ratio must be in (0, 1], got {self.application_ratio!r}"
+            )
+
+
+@dataclass(frozen=True)
+class WorkloadPhase:
+    """One interval of a time-varying workload.
+
+    Attributes
+    ----------
+    power_state:
+        The package power state during the phase.
+    residency:
+        Fraction of the workload's period spent in this phase.
+    benchmark:
+        The active benchmark during an active (C0/C0_MIN) phase; ``None`` for
+        idle phases.
+    duration_s:
+        Optional wall-clock duration, used by the interval simulator.
+    """
+
+    power_state: PackageCState
+    residency: float
+    benchmark: Optional[Benchmark] = None
+    duration_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        require_fraction(self.residency, "residency")
+        if self.duration_s is not None:
+            require_non_negative(self.duration_s, "duration_s")
+        if self.power_state.is_active and self.power_state is PackageCState.C0:
+            if self.benchmark is None:
+                raise ConfigurationError("an active C0 phase needs a benchmark")
+
+    @property
+    def workload_type(self) -> WorkloadType:
+        """The workload type of the phase (IDLE for package idle phases)."""
+        if self.benchmark is not None:
+            return self.benchmark.workload_type
+        return WorkloadType.IDLE
+
+    @property
+    def application_ratio(self) -> float:
+        """The application ratio of the phase (0 when idle)."""
+        if self.benchmark is not None:
+            return self.benchmark.application_ratio
+        return 0.0
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """An ordered sequence of workload phases.
+
+    Residencies must sum to 1 (within a small tolerance) so the trace can be
+    used directly for residency-weighted averaging of power (Sec. 5's video
+    playback example).
+    """
+
+    name: str
+    phases: Sequence[WorkloadPhase] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a trace needs a non-empty name")
+        if not self.phases:
+            raise ConfigurationError(f"trace {self.name!r} has no phases")
+        total_residency = sum(phase.residency for phase in self.phases)
+        if abs(total_residency - 1.0) > 1e-6:
+            raise ConfigurationError(
+                f"trace {self.name!r}: phase residencies sum to {total_residency:.4f}, "
+                "expected 1.0"
+            )
+
+    @property
+    def active_residency(self) -> float:
+        """Total residency of active (C0/C0_MIN) phases."""
+        return sum(phase.residency for phase in self.phases if phase.power_state.is_active)
+
+    def phases_in_state(self, state: PackageCState) -> List[WorkloadPhase]:
+        """All phases that run in package state ``state``."""
+        return [phase for phase in self.phases if phase.power_state is state]
+
+    @classmethod
+    def steady_state(cls, benchmark: Benchmark) -> "WorkloadTrace":
+        """A single-phase trace that runs ``benchmark`` continuously in C0."""
+        return cls(
+            name=benchmark.name,
+            phases=(
+                WorkloadPhase(
+                    power_state=PackageCState.C0,
+                    residency=1.0,
+                    benchmark=benchmark,
+                ),
+            ),
+        )

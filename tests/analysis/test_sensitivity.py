@@ -1,0 +1,83 @@
+"""Tests for the parameter-sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    PERTURBABLE_PARAMETERS,
+    SensitivityAnalysis,
+    SensitivityRecord,
+)
+from repro.pdn.base import OperatingConditions
+from repro.power.domains import WorkloadType
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return SensitivityAnalysis(pdn_names=["IVR", "MBVR", "LDO"])
+
+
+class TestPerturb:
+    def test_zero_perturbation_changes_nothing(self, analysis):
+        for record in analysis.perturb("ivr_tolerance_band_v", 0.0):
+            assert record.etee_delta == pytest.approx(0.0)
+            assert record.sensitivity == 0.0
+
+    def test_larger_tolerance_band_hurts_the_matching_pdn(self, analysis):
+        records = {r.pdn_name: r for r in analysis.perturb("ivr_tolerance_band_v", 0.5)}
+        assert records["IVR"].etee_delta < 0.0
+        # The MBVR and LDO PDNs do not use the IVR tolerance band at all.
+        assert records["MBVR"].etee_delta == pytest.approx(0.0)
+        assert records["LDO"].etee_delta == pytest.approx(0.0)
+
+    def test_higher_ldo_current_efficiency_helps_ldo(self, analysis):
+        records = {r.pdn_name: r for r in analysis.perturb("ldo_current_efficiency", 0.005)}
+        assert records["LDO"].etee_delta > 0.0
+
+    def test_heavier_input_loadline_hurts_ldo_at_high_tdp(self, analysis):
+        conditions = OperatingConditions.for_active_workload(
+            50.0, 0.56, WorkloadType.CPU_MULTI_THREAD
+        )
+        records = {
+            r.pdn_name: r
+            for r in analysis.perturb("ldo_input_loadline_ohm", 1.0, conditions)
+        }
+        assert records["LDO"].etee_delta < 0.0
+        assert records["IVR"].etee_delta == pytest.approx(0.0)
+
+    def test_unknown_parameter_rejected(self, analysis):
+        with pytest.raises(ConfigurationError):
+            analysis.perturb("not_a_parameter", 0.1)
+
+    def test_small_perturbations_have_small_effects(self, analysis):
+        # The validation claim: within the published ranges (a few percent of
+        # parameter movement) the ETEE moves by well under one point.
+        for parameter in ("ivr_tolerance_band_v", "leakage_exponent"):
+            for record in analysis.perturb(parameter, 0.05):
+                assert abs(record.etee_delta) < 0.01
+
+
+class TestTornado:
+    def test_summary_covers_requested_parameters_and_pdns(self, analysis):
+        summary = analysis.tornado(
+            relative_change=0.2, parameters=("ivr_tolerance_band_v", "leakage_exponent")
+        )
+        assert set(summary) == {"ivr_tolerance_band_v", "leakage_exponent"}
+        for swings in summary.values():
+            assert set(swings) == {"IVR", "MBVR", "LDO"}
+            assert all(value >= 0.0 for value in swings.values())
+
+    def test_most_sensitive_parameter_is_perturbable(self, analysis):
+        parameter = analysis.most_sensitive_parameter("IVR", relative_change=0.2)
+        assert parameter in PERTURBABLE_PARAMETERS
+
+    def test_record_sensitivity_definition(self):
+        record = SensitivityRecord(
+            pdn_name="IVR",
+            parameter="leakage_exponent",
+            relative_change=0.1,
+            baseline_etee=0.75,
+            perturbed_etee=0.74,
+        )
+        assert record.etee_delta == pytest.approx(-0.01)
+        assert record.sensitivity == pytest.approx(-0.1)

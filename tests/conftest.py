@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flexwatts import FlexWattsPdn
+from repro.pdn.base import OperatingConditions
+from repro.pdn.registry import available_pdns, build_pdn
+from repro.power.domains import WorkloadType
+from repro.power.parameters import default_parameters
+from repro.power.power_states import PackageCState
+
+
+@pytest.fixture(scope="session")
+def parameters():
+    """The default (Table 2) technology parameters."""
+    return default_parameters()
+
+
+@pytest.fixture(scope="session")
+def all_pdns():
+    """One instance of every PDN architecture, keyed by name."""
+    return {name: build_pdn(name) for name in available_pdns()}
+
+
+@pytest.fixture(scope="session")
+def flexwatts():
+    """A FlexWatts instance with a calibrated predictor (built once per session)."""
+    pdn = FlexWattsPdn()
+    _ = pdn.predictor  # force the (relatively slow) calibration once
+    return pdn
+
+
+@pytest.fixture
+def cpu_conditions_4w():
+    """A CPU-intensive operating point at a 4 W TDP (AR = 56 %)."""
+    return OperatingConditions.for_active_workload(
+        tdp_w=4.0, application_ratio=0.56, workload_type=WorkloadType.CPU_MULTI_THREAD
+    )
+
+
+@pytest.fixture
+def cpu_conditions_50w():
+    """A CPU-intensive operating point at a 50 W TDP (AR = 56 %)."""
+    return OperatingConditions.for_active_workload(
+        tdp_w=50.0, application_ratio=0.56, workload_type=WorkloadType.CPU_MULTI_THREAD
+    )
+
+
+@pytest.fixture
+def gfx_conditions_18w():
+    """A graphics-intensive operating point at an 18 W TDP."""
+    return OperatingConditions.for_active_workload(
+        tdp_w=18.0, application_ratio=0.56, workload_type=WorkloadType.GRAPHICS
+    )
+
+
+@pytest.fixture
+def idle_conditions_c8():
+    """The deep-idle (C8) operating point at an 18 W TDP."""
+    return OperatingConditions.for_power_state(18.0, PackageCState.C8)

@@ -1,0 +1,90 @@
+"""Tests for the mode-switch flow and its overheads (experiment E-OVH)."""
+
+import pytest
+
+from repro.core.hybrid_vr import PdnMode
+from repro.core.mode_switching import (
+    ModeSwitchController,
+    ModeSwitchOverheads,
+    IVR_MODE_INPUT_VOLTAGE_V,
+    LDO_MODE_INPUT_VOLTAGE_V,
+)
+from repro.power.power_states import PackageCState
+from repro.soc.pmu import PowerManagementUnit
+
+
+class TestOverheads:
+    def test_total_latency_matches_the_paper(self):
+        # Sec. 6: 45 us C6 entry + 19 us VR adjustment + ~30 us C6 exit ~= 94 us.
+        overheads = ModeSwitchOverheads()
+        assert overheads.total_latency_s == pytest.approx(94e-6, rel=0.02)
+
+    def test_latency_well_below_dvfs_transition(self):
+        # The paper argues the flow is acceptable because DVFS transitions can
+        # take up to 500 us.
+        assert ModeSwitchOverheads().total_latency_s < 500e-6
+
+    def test_area_overhead_matches_the_paper(self):
+        overheads = ModeSwitchOverheads()
+        assert overheads.area_overhead_mm2 == pytest.approx(0.041)
+        assert overheads.dual_core_die_fraction == pytest.approx(0.0004)
+        assert overheads.quad_core_die_fraction == pytest.approx(0.0003)
+
+    def test_vr_adjust_latency_from_voltage_swing(self):
+        # 1.8 V -> 0.85 V at 50 mV/us is 19 us.
+        overheads = ModeSwitchOverheads.from_voltage_swing(
+            IVR_MODE_INPUT_VOLTAGE_V, LDO_MODE_INPUT_VOLTAGE_V
+        )
+        assert overheads.vr_adjust_s == pytest.approx(19e-6, rel=0.01)
+
+    def test_small_swing_bounded_by_on_chip_latency(self):
+        overheads = ModeSwitchOverheads.from_voltage_swing(0.851, 0.85)
+        assert overheads.vr_adjust_s == pytest.approx(2e-6)
+
+
+class TestController:
+    def test_switching_changes_mode_and_counts(self):
+        controller = ModeSwitchController(min_residency_s=0.0)
+        latency = controller.switch_to(PdnMode.LDO_MODE)
+        assert controller.mode is PdnMode.LDO_MODE
+        assert controller.switch_count == 1
+        assert latency == pytest.approx(controller.overheads.total_latency_s)
+
+    def test_switching_to_the_same_mode_is_free(self):
+        controller = ModeSwitchController(min_residency_s=0.0)
+        assert controller.switch_to(PdnMode.IVR_MODE) == 0.0
+        assert controller.switch_count == 0
+
+    def test_minimum_residency_prevents_thrashing(self):
+        controller = ModeSwitchController(min_residency_s=10e-3)
+        controller.switch_to(PdnMode.LDO_MODE)
+        # Immediately asking to switch back is refused (no time has passed).
+        assert controller.switch_to(PdnMode.IVR_MODE) == 0.0
+        assert controller.mode is PdnMode.LDO_MODE
+        controller.advance_time(11e-3)
+        assert controller.switch_to(PdnMode.IVR_MODE) > 0.0
+        assert controller.mode is PdnMode.IVR_MODE
+
+    def test_switch_through_pmu_uses_package_c6(self):
+        controller = ModeSwitchController(min_residency_s=0.0)
+        pmu = PowerManagementUnit(tdp_w=18.0)
+        controller.switch_to(PdnMode.LDO_MODE, pmu=pmu)
+        # The flow exits back into an active state.
+        assert pmu.power_state in (PackageCState.C0, PackageCState.C0_MIN)
+        assert pmu.time_s > 0.0
+
+    def test_energy_overhead_scales_with_power(self):
+        controller = ModeSwitchController()
+        assert controller.energy_overhead_j(10.0) == pytest.approx(
+            10.0 * controller.overheads.total_latency_s
+        )
+        assert controller.energy_overhead_j(20.0) > controller.energy_overhead_j(10.0)
+
+    def test_total_switch_time_accumulates(self):
+        controller = ModeSwitchController(min_residency_s=0.0)
+        controller.switch_to(PdnMode.LDO_MODE)
+        controller.switch_to(PdnMode.IVR_MODE)
+        assert controller.switch_count == 2
+        assert controller.total_switch_time_s == pytest.approx(
+            2 * controller.overheads.total_latency_s
+        )

@@ -1,0 +1,89 @@
+"""Tests for the Iccmax, BOM and board-area models (Fig. 8d-e)."""
+
+import pytest
+
+from repro.cost.board_area import BoardAreaModel
+from repro.cost.bom import BomModel
+from repro.cost.iccmax import pdn_iccmax_summary, total_iccmax_a
+from repro.pdn.registry import build_pdn
+
+
+@pytest.fixture(scope="module")
+def pdns():
+    return {name: build_pdn(name) for name in ("IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts")}
+
+
+class TestIccmax:
+    def test_total_iccmax_grows_with_tdp(self, pdns):
+        for pdn in pdns.values():
+            assert total_iccmax_a(pdn, 50.0) > total_iccmax_a(pdn, 4.0)
+
+    def test_mbvr_needs_the_most_total_current(self, pdns):
+        totals = {name: total_iccmax_a(pdn, 50.0) for name, pdn in pdns.items()}
+        assert totals["MBVR"] == max(totals.values())
+
+    def test_flexwatts_total_close_to_ivr(self, pdns):
+        # Sec. 7.1: FlexWatts' shared regulator is sized like IVR's.
+        ratio = total_iccmax_a(pdns["FlexWatts"], 50.0) / total_iccmax_a(pdns["IVR"], 50.0)
+        assert ratio < 1.35
+
+    def test_summary_structure(self, pdns):
+        summary = pdn_iccmax_summary(pdns.values(), 18.0)
+        assert set(summary) == set(pdns)
+        assert set(summary["MBVR"]) == {"V_Cores", "V_GFX", "V_SA", "V_IO"}
+
+
+class TestBomModel:
+    def test_pmic_used_up_to_18w(self):
+        model = BomModel()
+        assert model.uses_pmic(18.0)
+        assert not model.uses_pmic(25.0)
+
+    def test_rail_cost_monotone_in_current(self):
+        model = BomModel()
+        assert model.rail_cost(10.0, 10.0) > model.rail_cost(1.0, 10.0)
+
+    def test_mbvr_and_ldo_cost_much_more_than_ivr(self, pdns):
+        model = BomModel()
+        for tdp in (4.0, 18.0, 50.0):
+            comparison = model.compare(pdns.values(), tdp)
+            assert comparison["MBVR"] > 1.5
+            assert comparison["LDO"] > 1.4
+            assert comparison["IVR"] == pytest.approx(1.0)
+
+    def test_flexwatts_cost_comparable_to_ivr(self, pdns):
+        model = BomModel()
+        for tdp in (4.0, 18.0, 50.0):
+            comparison = model.compare(pdns.values(), tdp)
+            assert comparison["FlexWatts"] < 1.6
+            assert comparison["FlexWatts"] == pytest.approx(comparison["I+MBVR"], rel=0.05)
+
+    def test_reference_must_be_compared(self, pdns):
+        model = BomModel()
+        with pytest.raises(ValueError):
+            model.compare([pdns["MBVR"]], 18.0, reference_name="IVR")
+
+
+class TestBoardAreaModel:
+    def test_area_comparison_shapes(self, pdns):
+        model = BoardAreaModel()
+        for tdp in (4.0, 18.0, 50.0):
+            comparison = model.compare(pdns.values(), tdp)
+            assert comparison["MBVR"] > comparison["FlexWatts"]
+            assert comparison["LDO"] > comparison["I+MBVR"]
+            assert comparison["IVR"] == pytest.approx(1.0)
+
+    def test_estimate_totals_are_positive(self, pdns):
+        model = BoardAreaModel()
+        estimate = model.estimate(pdns["FlexWatts"], 18.0)
+        assert estimate.total_area_mm2 > 0.0
+        assert estimate.uses_pmic
+
+    def test_vrm_rails_cost_more_area_per_rail(self):
+        model = BoardAreaModel()
+        assert model.rail_area_mm2(5.0, 25.0) > model.rail_area_mm2(5.0, 10.0)
+
+    def test_normalised_to_requires_positive_reference(self, pdns):
+        model = BoardAreaModel()
+        estimate = model.estimate(pdns["IVR"], 18.0)
+        assert estimate.normalised_to(estimate) == pytest.approx(1.0)

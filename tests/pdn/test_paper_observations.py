@@ -1,0 +1,91 @@
+"""Integration tests for the paper's three motivating observations (Sec. 5).
+
+These tests pin the qualitative shapes the reproduction must preserve; they
+are the regression net for any recalibration of the regulator loss models.
+"""
+
+import pytest
+
+from repro.pdn.base import OperatingConditions
+from repro.power.domains import WorkloadType
+from repro.power.power_states import BATTERY_LIFE_STATES, PackageCState
+
+
+def _etee(pdns, name, tdp_w, ar=0.56, workload=WorkloadType.CPU_MULTI_THREAD):
+    conditions = OperatingConditions.for_active_workload(tdp_w, ar, workload)
+    return pdns[name].evaluate(conditions).etee
+
+
+class TestObservation1:
+    """IVR is the least efficient PDN at low TDP and the most efficient at high TDP."""
+
+    def test_ivr_worst_at_4w(self, all_pdns):
+        ivr = _etee(all_pdns, "IVR", 4.0)
+        assert ivr < _etee(all_pdns, "MBVR", 4.0)
+        assert ivr < _etee(all_pdns, "LDO", 4.0)
+
+    def test_ivr_best_of_the_three_common_pdns_at_50w(self, all_pdns):
+        ivr = _etee(all_pdns, "IVR", 50.0)
+        assert ivr > _etee(all_pdns, "MBVR", 50.0)
+        assert ivr > _etee(all_pdns, "LDO", 50.0)
+
+    def test_crossover_exists_between_4w_and_50w(self, all_pdns):
+        # Somewhere between 4 W and 50 W the IVR/MBVR ordering flips.
+        deltas = []
+        for tdp in (4.0, 8.0, 10.0, 18.0, 25.0, 36.0, 50.0):
+            deltas.append(_etee(all_pdns, "IVR", tdp) - _etee(all_pdns, "MBVR", tdp))
+        assert deltas[0] < 0.0 < deltas[-1]
+
+    def test_4w_gap_is_significant(self, all_pdns):
+        # The 4 W gap drives the >22 % performance improvements of Fig. 7.
+        gap = _etee(all_pdns, "MBVR", 4.0) - _etee(all_pdns, "IVR", 4.0)
+        assert gap > 0.04
+
+
+class TestObservation2:
+    """ETEE depends on the application ratio and the workload type."""
+
+    @pytest.mark.parametrize("pdn_name", ["MBVR", "LDO"])
+    def test_mbvr_and_ldo_etee_increase_with_ar(self, all_pdns, pdn_name):
+        etees = [_etee(all_pdns, pdn_name, 18.0, ar=ar) for ar in (0.4, 0.6, 0.8)]
+        assert etees[0] < etees[1] < etees[2]
+
+    def test_ldo_beats_mbvr_for_cpu_workloads(self, all_pdns):
+        for tdp in (4.0, 18.0, 50.0):
+            assert _etee(all_pdns, "LDO", tdp) > _etee(all_pdns, "MBVR", tdp)
+
+    def test_ldo_loses_to_mbvr_for_graphics_workloads_at_mid_and_high_tdp(self, all_pdns):
+        for tdp in (18.0, 36.0):
+            ldo = _etee(all_pdns, "LDO", tdp, workload=WorkloadType.GRAPHICS)
+            mbvr = _etee(all_pdns, "MBVR", tdp, workload=WorkloadType.GRAPHICS)
+            assert ldo < mbvr
+
+    def test_graphics_voltage_gap_hurts_ldo_more_than_ivr(self, all_pdns):
+        tdp = 18.0
+        ldo_drop = _etee(all_pdns, "LDO", tdp) - _etee(
+            all_pdns, "LDO", tdp, workload=WorkloadType.GRAPHICS
+        )
+        ivr_drop = _etee(all_pdns, "IVR", tdp) - _etee(
+            all_pdns, "IVR", tdp, workload=WorkloadType.GRAPHICS
+        )
+        assert ldo_drop > ivr_drop
+
+
+class TestObservation3:
+    """IVR is markedly less efficient in light-load / idle power states."""
+
+    @pytest.mark.parametrize("state", list(BATTERY_LIFE_STATES))
+    def test_ivr_least_efficient_in_every_battery_life_state(self, all_pdns, state):
+        conditions = OperatingConditions.for_power_state(18.0, state)
+        ivr = all_pdns["IVR"].evaluate(conditions).etee
+        mbvr = all_pdns["MBVR"].evaluate(conditions).etee
+        ldo = all_pdns["LDO"].evaluate(conditions).etee
+        assert ivr < mbvr
+        assert ivr < ldo
+
+    def test_c0min_gap_drives_battery_life_savings(self, all_pdns):
+        conditions = OperatingConditions.for_power_state(18.0, PackageCState.C0_MIN)
+        ivr = all_pdns["IVR"].evaluate(conditions)
+        mbvr = all_pdns["MBVR"].evaluate(conditions)
+        # MBVR draws noticeably less supply power for the same nominal load.
+        assert mbvr.supply_power_w < 0.95 * ivr.supply_power_w

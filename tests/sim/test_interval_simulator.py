@@ -1,0 +1,127 @@
+"""Tests for the interval simulator and FlexWatts' dynamic behaviour."""
+
+import pytest
+
+from repro.core.flexwatts import FlexWattsPdn
+from repro.core.hybrid_vr import PdnMode
+from repro.core.mode_switching import ModeSwitchController
+from repro.pdn.ivr import IvrPdn
+from repro.pdn.mbvr import MbvrPdn
+from repro.power.power_states import PackageCState
+from repro.sim.engine import IntervalSimulator
+from repro.workloads.base import WorkloadPhase, WorkloadTrace
+from repro.workloads.battery_life import BATTERY_LIFE_WORKLOADS
+from repro.workloads.spec_cpu2006 import SPEC_CPU2006_BENCHMARKS
+from repro.workloads.synthetic import SyntheticTraceGenerator
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return IntervalSimulator(tdp_w=18.0, trace_period_s=1.0)
+
+
+@pytest.fixture(scope="module")
+def video_trace():
+    return BATTERY_LIFE_WORKLOADS[0].trace()
+
+
+class TestStaticPdnSimulation:
+    def test_energy_is_power_times_time(self, simulator, video_trace):
+        result = simulator.run(video_trace, IvrPdn())
+        manual = sum(record.supply_power_w * record.duration_s for record in result.phase_records)
+        assert result.total_energy_j == pytest.approx(manual)
+
+    def test_total_time_matches_trace_period(self, simulator, video_trace):
+        result = simulator.run(video_trace, IvrPdn())
+        assert result.total_time_s == pytest.approx(1.0)
+
+    def test_mbvr_uses_less_energy_than_ivr_for_video_playback(self, simulator, video_trace):
+        ivr = simulator.run(video_trace, IvrPdn())
+        mbvr = simulator.run(video_trace, MbvrPdn())
+        assert mbvr.total_energy_j < ivr.total_energy_j
+
+    def test_compare_returns_all_pdns(self, simulator, video_trace):
+        results = simulator.compare(video_trace, [IvrPdn(), MbvrPdn()])
+        assert set(results) == {"IVR", "MBVR"}
+
+
+class TestFlexWattsSimulation:
+    def test_battery_life_trace_settles_into_ldo_mode(self, simulator, video_trace, flexwatts):
+        result = simulator.run(video_trace, flexwatts)
+        assert result.time_in_mode_s(PdnMode.LDO_MODE) > 0.0
+        assert result.average_power_w < simulator.run(video_trace, IvrPdn()).average_power_w
+
+    def test_bursty_trace_triggers_mode_switches_at_high_tdp(self, flexwatts):
+        # At 50 W the active phases want IVR-Mode while idle phases want
+        # LDO-Mode, so an adaptive PDN booted in the "wrong" mode must switch.
+        generator = SyntheticTraceGenerator(seed=5)
+        benchmark = SPEC_CPU2006_BENCHMARKS[-1]
+        trace = generator.bursty_trace(
+            "bursty", benchmark, active_residency=0.5, phase_duration_s=50e-3, phase_count=8
+        )
+        simulator = IntervalSimulator(tdp_w=50.0)
+        pdn = FlexWattsPdn(
+            predictor=flexwatts.predictor,
+            switch_controller=ModeSwitchController(
+                initial_mode=PdnMode.LDO_MODE, min_residency_s=0.0
+            ),
+        )
+        result = simulator.run(trace, pdn)
+        assert result.mode_switch_count >= 1
+        assert result.mode_switch_time_s > 0.0
+        assert result.mode_switch_energy_j > 0.0
+
+    def test_switch_overhead_is_negligible_for_10ms_phases(self, flexwatts):
+        generator = SyntheticTraceGenerator(seed=5)
+        benchmark = SPEC_CPU2006_BENCHMARKS[-1]
+        trace = generator.bursty_trace(
+            "bursty", benchmark, active_residency=0.5, phase_duration_s=10e-3, phase_count=8
+        )
+        simulator = IntervalSimulator(tdp_w=50.0)
+        pdn = FlexWattsPdn(
+            predictor=flexwatts.predictor,
+            switch_controller=ModeSwitchController(
+                initial_mode=PdnMode.LDO_MODE, min_residency_s=0.0
+            ),
+        )
+        result = simulator.run(trace, pdn)
+        assert result.mode_switch_time_s < 0.01 * result.total_time_s
+
+    def test_min_residency_limits_switch_rate(self, flexwatts):
+        generator = SyntheticTraceGenerator(seed=5)
+        benchmark = SPEC_CPU2006_BENCHMARKS[-1]
+        trace = generator.bursty_trace(
+            "bursty", benchmark, active_residency=0.5, phase_duration_s=5e-3, phase_count=20
+        )
+        simulator = IntervalSimulator(tdp_w=50.0)
+        pdn = FlexWattsPdn(
+            predictor=flexwatts.predictor,
+            switch_controller=ModeSwitchController(
+                initial_mode=PdnMode.LDO_MODE, min_residency_s=1.0
+            ),
+        )
+        result = simulator.run(trace, pdn)
+        assert result.mode_switch_count <= 1
+
+
+class TestTraceHandling:
+    def test_c0_phase_without_benchmark_rejected(self, simulator):
+        from repro.util.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            WorkloadTrace(
+                name="bad",
+                phases=(WorkloadPhase(power_state=PackageCState.C0, residency=1.0),),
+            )
+
+    def test_explicit_durations_override_residency(self):
+        benchmark = SPEC_CPU2006_BENCHMARKS[0]
+        trace = WorkloadTrace(
+            name="timed",
+            phases=(
+                WorkloadPhase(PackageCState.C0, 0.5, benchmark, duration_s=0.2),
+                WorkloadPhase(PackageCState.C6, 0.5, duration_s=0.3),
+            ),
+        )
+        result = IntervalSimulator(tdp_w=18.0).run(trace, IvrPdn())
+        assert result.total_time_s == pytest.approx(0.5)

@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.analysis.pdnspot import PdnSpot
+from repro.cli import (
+    build_parser,
+    main,
+    run_battery_life,
+    run_cost,
+    run_etee,
+    run_performance,
+    run_predict,
+)
+from repro.power.domains import WorkloadType
+
+
+@pytest.fixture(scope="module")
+def spot():
+    return PdnSpot()
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["etee", "--tdp", "4"])
+        assert args.command == "etee"
+        assert args.tdp == pytest.approx(4.0)
+        assert build_parser().parse_args(["battery-life"]).command == "battery-life"
+        assert build_parser().parse_args(["figures", "--quick"]).quick is True
+
+    def test_workload_type_parsing(self):
+        args = build_parser().parse_args(["etee", "--workload", "graphics"])
+        assert args.workload is WorkloadType.GRAPHICS
+
+    def test_invalid_workload_type_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["etee", "--workload", "nonsense"])
+
+    def test_missing_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestSubcommands:
+    def test_etee_table_contains_all_pdns(self, spot):
+        text = run_etee(spot, 4.0, 0.56, WorkloadType.CPU_MULTI_THREAD)
+        for name in ("IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts"):
+            assert name in text
+
+    def test_performance_table_mentions_suite(self, spot):
+        assert "SPEC" in run_performance(spot, 4.0, "spec")
+        assert "3DMark06" in run_performance(spot, 4.0, "3dmark")
+
+    def test_battery_life_table(self, spot):
+        text = run_battery_life(spot)
+        assert "video_playback" in text
+
+    def test_cost_table(self, spot):
+        text = run_cost(spot, 18.0)
+        assert "BOM vs IVR" in text
+
+    def test_predict_reports_a_mode(self, spot):
+        low = run_predict(spot, 4.0, 0.56, WorkloadType.CPU_MULTI_THREAD)
+        high = run_predict(spot, 50.0, 0.56, WorkloadType.CPU_MULTI_THREAD)
+        assert "ldo_mode" in low
+        assert "ivr_mode" in high
+
+
+class TestMain:
+    def test_main_etee_exit_code(self, capsys):
+        assert main(["etee", "--tdp", "4"]) == 0
+        captured = capsys.readouterr()
+        assert "ETEE" in captured.out
+
+    def test_main_cost(self, capsys):
+        assert main(["cost", "--tdp", "25"]) == 0
+        assert "BOM" in capsys.readouterr().out

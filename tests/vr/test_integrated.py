@@ -1,0 +1,80 @@
+"""Tests for the integrated (on-chip) voltage-regulator model."""
+
+import pytest
+
+from repro.util.errors import UnsupportedOperatingPointError
+from repro.vr.base import RegulatorOperatingPoint
+from repro.vr.efficiency_curves import default_ivr
+from repro.vr.integrated import IntegratedVoltageRegulator, IntegratedVrDesign
+
+
+def _point(vout, iout, vin=1.8):
+    return RegulatorOperatingPoint(
+        input_voltage_v=vin, output_voltage_v=vout, output_current_a=iout
+    )
+
+
+class TestEfficiencySurface:
+    def test_heavy_load_efficiency_within_table2_range(self):
+        ivr = default_ivr("ivr", iccmax_a=30.0)
+        for iout in (3.0, 10.0, 20.0):
+            for vout in (0.7, 0.9, 1.1):
+                assert 0.81 <= ivr.efficiency(_point(vout, iout)) <= 0.88
+
+    def test_light_load_penalty(self):
+        ivr = default_ivr("ivr")
+        light = ivr.efficiency(_point(1.0, 0.2))
+        heavy = ivr.efficiency(_point(1.0, 5.0))
+        assert heavy > light
+
+    def test_lower_output_voltage_is_less_efficient(self):
+        ivr = default_ivr("ivr")
+        assert ivr.efficiency(_point(0.6, 5.0)) < ivr.efficiency(_point(1.1, 5.0))
+
+    def test_efficiency_never_exceeds_peak(self):
+        ivr = default_ivr("ivr")
+        peak = ivr.design.peak_efficiency
+        for iout in (0.1, 1.0, 10.0, 24.0):
+            assert ivr.efficiency(_point(1.1, iout)) <= peak
+
+    def test_zero_load_is_zero_efficiency(self):
+        ivr = default_ivr("ivr")
+        assert ivr.efficiency(_point(1.0, 0.0)) == 0.0
+
+
+class TestOperatingLimits:
+    def test_exceeding_iccmax_raises(self):
+        ivr = default_ivr("ivr", iccmax_a=10.0)
+        with pytest.raises(UnsupportedOperatingPointError):
+            ivr.efficiency(_point(1.0, 11.0))
+
+    def test_output_above_input_raises(self):
+        ivr = default_ivr("ivr")
+        with pytest.raises(UnsupportedOperatingPointError):
+            ivr.efficiency(_point(1.9, 1.0, vin=1.8))
+
+    def test_idle_power_is_quiescent(self):
+        design = IntegratedVrDesign(name="ivr", iccmax_a=10.0, quiescent_w=0.02)
+        ivr = IntegratedVoltageRegulator(design)
+        assert ivr.idle_power_w() == pytest.approx(0.02)
+
+
+class TestPowerAccounting:
+    def test_input_power_follows_efficiency(self):
+        ivr = default_ivr("ivr")
+        point = _point(0.9, 6.0)
+        eta = ivr.efficiency(point)
+        assert ivr.input_power_w(point) == pytest.approx(point.output_power_w / eta)
+
+    def test_two_stage_conversion_is_less_efficient_than_either_stage(self):
+        # The core of Observation 1: IVR efficiency times board-VR efficiency
+        # is meaningfully below the single-stage board-VR efficiency.
+        from repro.vr.efficiency_curves import default_board_vr
+
+        ivr = default_ivr("ivr")
+        board = default_board_vr("board", iccmax_a=20.0)
+        ivr_eta = ivr.efficiency(_point(0.65, 1.0))
+        board_eta = board.efficiency(
+            RegulatorOperatingPoint(7.2, 1.8, 1.0 * 0.65 / 1.8 / ivr_eta)
+        )
+        assert ivr_eta * board_eta < board.efficiency(RegulatorOperatingPoint(7.2, 0.65, 1.0))

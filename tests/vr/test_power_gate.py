@@ -1,0 +1,55 @@
+"""Tests for the on-chip power-gate model."""
+
+import pytest
+
+from repro.vr.base import RegulatorOperatingPoint
+from repro.vr.power_gate import PowerGate
+
+
+def _point(vout, iout):
+    return RegulatorOperatingPoint(
+        input_voltage_v=vout + 0.05, output_voltage_v=vout, output_current_a=iout
+    )
+
+
+class TestVoltageDrop:
+    def test_drop_scales_with_current_and_impedance(self):
+        gate = PowerGate("pg", impedance_ohm=0.002)
+        assert gate.voltage_drop_v(5.0) == pytest.approx(0.010)
+        assert gate.voltage_drop_v(10.0) == pytest.approx(0.020)
+
+    def test_open_gate_has_no_drop(self):
+        gate = PowerGate("pg", impedance_ohm=0.002, closed=False)
+        assert gate.voltage_drop_v(5.0) == 0.0
+
+
+class TestEfficiency:
+    def test_closed_gate_efficiency_below_unity(self):
+        gate = PowerGate("pg", impedance_ohm=0.002)
+        eta = gate.efficiency(_point(0.6, 10.0))
+        assert 0.9 < eta < 1.0
+
+    def test_lower_impedance_is_more_efficient(self):
+        low = PowerGate("pg", impedance_ohm=0.001).efficiency(_point(0.6, 10.0))
+        high = PowerGate("pg", impedance_ohm=0.002).efficiency(_point(0.6, 10.0))
+        assert low > high
+
+    def test_open_gate_blocks_power(self):
+        gate = PowerGate("pg", impedance_ohm=0.002, closed=False)
+        assert gate.efficiency(_point(0.6, 10.0)) == 0.0
+        assert gate.input_power_w(_point(0.6, 10.0)) == 0.0
+
+
+class TestStateTransitions:
+    def test_open_and_close(self):
+        gate = PowerGate("pg")
+        assert gate.closed
+        gate.open()
+        assert not gate.closed
+        gate.close()
+        assert gate.closed
+
+    def test_input_power_exceeds_output_power_when_closed(self):
+        gate = PowerGate("pg", impedance_ohm=0.0015)
+        point = _point(0.6, 8.0)
+        assert gate.input_power_w(point) > point.output_power_w

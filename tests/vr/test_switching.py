@@ -1,0 +1,133 @@
+"""Tests for the switching (buck) regulator model."""
+
+import pytest
+
+from repro.util.errors import ConfigurationError, UnsupportedOperatingPointError
+from repro.vr.base import RegulatorOperatingPoint
+from repro.vr.efficiency_curves import default_board_vr, default_input_vr
+from repro.vr.switching import (
+    PhaseConfiguration,
+    SwitchingRegulator,
+    SwitchingRegulatorDesign,
+    VRPowerState,
+)
+
+
+@pytest.fixture
+def board_vr():
+    return default_board_vr("V_TEST", iccmax_a=20.0)
+
+
+def _point(vout, iout, vin=7.2):
+    return RegulatorOperatingPoint(
+        input_voltage_v=vin, output_voltage_v=vout, output_current_a=iout
+    )
+
+
+class TestEfficiencySurface:
+    def test_efficiency_within_physical_bounds(self, board_vr):
+        for iout in (0.1, 0.5, 1.0, 5.0, 10.0):
+            for vout in (0.6, 1.0, 1.8):
+                eta = board_vr.efficiency(_point(vout, iout))
+                assert 0.0 < eta <= 0.93
+
+    def test_efficiency_improves_with_current_at_light_load(self, board_vr):
+        light = board_vr.efficiency(_point(0.6, 0.1))
+        heavy = board_vr.efficiency(_point(0.6, 2.0))
+        assert heavy > light
+
+    def test_higher_output_voltage_is_more_efficient(self, board_vr):
+        low_vout = board_vr.efficiency(_point(0.6, 2.0))
+        high_vout = board_vr.efficiency(_point(1.8, 2.0))
+        assert high_vout > low_vout
+
+    def test_mid_load_efficiency_in_published_range(self, board_vr):
+        # Table 2: off-chip VR efficiency 72-93 % over the operational range.
+        for iout in (1.0, 2.0, 5.0, 10.0):
+            for vout in (0.6, 0.7, 1.0, 1.8):
+                assert 0.70 <= board_vr.efficiency(_point(vout, iout)) <= 0.93
+
+    def test_ps1_beats_ps0_at_light_load_and_loses_at_heavy_load(self, board_vr):
+        point_light = _point(0.6, 0.1)
+        point_heavy = _point(0.6, 8.0)
+        board_vr.set_power_state(VRPowerState.PS0)
+        ps0_light = board_vr.efficiency(point_light)
+        ps0_heavy = board_vr.efficiency(point_heavy)
+        board_vr.set_power_state(VRPowerState.PS1)
+        ps1_light = board_vr.efficiency(point_light)
+        ps1_heavy = board_vr.efficiency(point_heavy)
+        assert ps1_light > ps0_light
+        assert ps1_heavy < ps0_heavy
+
+    def test_zero_load_has_zero_efficiency(self, board_vr):
+        assert board_vr.efficiency(_point(0.6, 0.0)) == 0.0
+
+
+class TestPowerAccounting:
+    def test_input_power_exceeds_output_power(self, board_vr):
+        point = _point(1.0, 3.0)
+        assert board_vr.input_power_w(point) > point.output_power_w
+
+    def test_loss_matches_input_minus_output(self, board_vr):
+        point = _point(1.0, 3.0)
+        loss = board_vr.loss_w(point)
+        assert loss == pytest.approx(board_vr.input_power_w(point) - point.output_power_w)
+
+    def test_loss_breakdown_sums_to_total_loss(self, board_vr):
+        point = _point(0.7, 4.0)
+        breakdown = board_vr.loss_breakdown_w(point)
+        eta = board_vr.efficiency(point)
+        # When the efficiency cap is not hit the breakdown must equal the loss.
+        if eta < board_vr.design.max_efficiency:
+            assert sum(breakdown.values()) == pytest.approx(board_vr.loss_w(point))
+
+    def test_idle_power_is_quiescent_power(self, board_vr):
+        board_vr.set_power_state(VRPowerState.PS0)
+        ps0_idle = board_vr.idle_power_w()
+        board_vr.set_power_state(VRPowerState.PS4)
+        assert board_vr.idle_power_w() < ps0_idle
+
+
+class TestOperatingLimits:
+    def test_exceeding_iccmax_raises(self, board_vr):
+        with pytest.raises(UnsupportedOperatingPointError):
+            board_vr.efficiency(_point(0.6, board_vr.iccmax_a + 1.0))
+
+    def test_insufficient_headroom_raises(self, board_vr):
+        with pytest.raises(UnsupportedOperatingPointError):
+            board_vr.efficiency(_point(7.0, 1.0, vin=7.2))
+
+    def test_unknown_power_state_raises(self, board_vr):
+        with pytest.raises(ConfigurationError):
+            board_vr.set_power_state(VRPowerState.PS2)
+
+    def test_best_power_state_prefers_light_state_at_light_load(self, board_vr):
+        assert board_vr.best_power_state_for(_point(0.6, 0.05)) != VRPowerState.PS0
+        assert board_vr.best_power_state_for(_point(0.6, 9.0)) == VRPowerState.PS0
+
+
+class TestDesignValidation:
+    def test_design_requires_ps0(self):
+        with pytest.raises(ConfigurationError):
+            SwitchingRegulatorDesign(
+                name="bad",
+                iccmax_a=10.0,
+                phase_configs={
+                    VRPowerState.PS1: PhaseConfiguration(0.01, 0.001, 0.001, 0.001)
+                },
+            )
+
+    def test_design_requires_phase_configs(self):
+        with pytest.raises(ConfigurationError):
+            SwitchingRegulatorDesign(name="bad", iccmax_a=10.0, phase_configs={})
+
+    def test_regulator_rejects_missing_initial_state(self):
+        design = default_input_vr("V_IN").design
+        with pytest.raises(ConfigurationError):
+            SwitchingRegulator(design, power_state=VRPowerState.PS2)
+
+    def test_input_vr_supports_deep_power_states(self):
+        regulator = default_input_vr("V_IN")
+        for state in (VRPowerState.PS0, VRPowerState.PS1, VRPowerState.PS3, VRPowerState.PS4):
+            regulator.set_power_state(state)
+            assert regulator.power_state is state
