@@ -3,6 +3,8 @@
 Each ``test_bench_*`` module regenerates one figure/table of the paper using
 ``pytest-benchmark`` so that both the *result* (asserted shapes, recorded in
 EXPERIMENTS.md) and the *cost* of regenerating it are tracked.
+``test_bench_sweep`` additionally tracks the cached-vs-uncached cost of a
+full study grid through ``PdnSpot.run``.
 """
 
 from __future__ import annotations
@@ -14,7 +16,12 @@ from repro.analysis.pdnspot import PdnSpot
 
 @pytest.fixture(scope="session")
 def spot():
-    """A PDNspot instance shared by all benchmarks (predictor built once)."""
+    """A PDNspot instance shared by all benchmarks (predictor built once).
+
+    The shared instance also shares its evaluation cache across benchmark
+    rounds, which is representative of real figure regeneration; benchmarks
+    that need cold-cache numbers build their own ``PdnSpot(enable_cache=False)``.
+    """
     instance = PdnSpot()
     # Force the FlexWatts predictor calibration outside the timed sections.
     _ = instance.pdn("FlexWatts").predictor

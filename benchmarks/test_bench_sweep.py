@@ -1,0 +1,46 @@
+"""Benchmark E-SWEEP: the pdnspot-cache study grid.
+
+Runs a full TDP x AR x power-state study through ``PdnSpot.run`` twice --
+once with the evaluation cache disabled (the seed-equivalent cost of
+regenerating the grid from scratch) and once warm -- so the cache's speedup
+is tracked in the perf trajectory alongside the figure benchmarks.
+"""
+
+from repro.analysis.pdnspot import PdnSpot
+from repro.analysis.study import Study
+
+GRID_TDPS_W = (4.0, 8.0, 18.0, 50.0)
+GRID_ARS = (0.40, 0.56, 0.80)
+GRID_POWER_STATES = ("C0_MIN", "C2", "C8")
+
+#: rows = (TDPs x ARs active + TDPs x states idle) x 5 PDNs
+GRID_ROWS = (len(GRID_TDPS_W) * len(GRID_ARS) + len(GRID_TDPS_W) * len(GRID_POWER_STATES)) * 5
+
+
+def _grid_study() -> Study:
+    return (
+        Study.builder("pdnspot-cache-grid")
+        .tdps(*GRID_TDPS_W)
+        .application_ratios(*GRID_ARS)
+        .power_states(*GRID_POWER_STATES)
+        .build()
+    )
+
+
+def test_bench_sweep_grid_uncached(benchmark):
+    spot = PdnSpot(enable_cache=False)
+    study = _grid_study()
+    spot.run(study)  # pay the FlexWatts predictor calibration outside the timing
+    resultset = benchmark(spot.run, study)
+    assert len(resultset) == GRID_ROWS
+
+
+def test_bench_sweep_grid_cached(benchmark):
+    spot = PdnSpot()
+    study = _grid_study()
+    spot.run(study)  # warm the cache (and calibrate the predictor) once
+    resultset = benchmark(spot.run, study)
+    assert len(resultset) == GRID_ROWS
+    info = spot.cache_info()
+    assert info.hits > 0
+    assert info.size == GRID_ROWS  # one entry per distinct (pdn, conditions)

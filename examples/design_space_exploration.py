@@ -16,7 +16,7 @@ Run with::
     python examples/design_space_exploration.py
 """
 
-from repro import PdnSpot, default_parameters
+from repro import PdnSpot, Study
 from repro.analysis.reporting import format_table
 from repro.cost.iccmax import pdn_iccmax_summary
 from repro.power.domains import WorkloadType
@@ -27,12 +27,15 @@ TDP_GRID_W = (4.0, 8.0, 10.0, 18.0, 25.0, 36.0, 50.0)
 
 def tdp_sweep(spot: PdnSpot) -> None:
     """ETEE versus TDP and the IVR/MBVR crossover point."""
-    rows = []
+    results = spot.run(Study.over_tdps(TDP_GRID_W))
+    etee_by_tdp = results.pivot("tdp_w", "pdn", "etee")
+    rows = [
+        [tdp_w] + [etee[name] for name in PDN_ORDER]
+        for tdp_w, etee in etee_by_tdp.items()
+    ]
     crossover = None
     previous_gap = None
-    for tdp_w in TDP_GRID_W:
-        etee = spot.compare_etee(tdp_w=tdp_w)
-        rows.append([tdp_w] + [etee[name] for name in PDN_ORDER])
+    for tdp_w, etee in etee_by_tdp.items():
         gap = etee["IVR"] - etee["MBVR"]
         if previous_gap is not None and previous_gap < 0.0 <= gap:
             crossover = tdp_w
@@ -45,29 +48,37 @@ def tdp_sweep(spot: PdnSpot) -> None:
 
 def application_ratio_sweep(spot: PdnSpot) -> None:
     """ETEE versus application ratio at 18 W (the load-line effect)."""
-    ratios = (0.40, 0.50, 0.60, 0.70, 0.80)
-    rows = []
-    for ar in ratios:
-        etee = spot.compare_etee(tdp_w=18.0, application_ratio=ar)
-        rows.append([ar] + [etee[name] for name in PDN_ORDER])
+    results = spot.run(
+        Study.over_application_ratios((0.40, 0.50, 0.60, 0.70, 0.80), 18.0)
+    )
+    rows = [
+        [ar] + [etee[name] for name in PDN_ORDER]
+        for ar, etee in results.pivot("application_ratio", "pdn", "etee").items()
+    ]
     print(format_table(["AR"] + list(PDN_ORDER), rows, title="ETEE vs application ratio (18 W)"))
     print()
 
 
-def tolerance_band_what_if() -> None:
-    """What-if: halve every regulator tolerance band."""
-    nominal = PdnSpot()
-    tightened = PdnSpot(
-        parameters=default_parameters().with_overrides(
-            ivr_tolerance_band_v=0.010,
-            mbvr_tolerance_band_v=0.010,
-            ldo_tolerance_band_v=0.009,
-        )
+def tolerance_band_what_if(spot: PdnSpot) -> None:
+    """What-if: halve every regulator tolerance band (one study, two variants)."""
+    halved = {
+        "ivr_tolerance_band_v": 0.010,
+        "mbvr_tolerance_band_v": 0.010,
+        "ldo_tolerance_band_v": 0.009,
+    }
+    study = (
+        Study.builder("tolerance-band-what-if")
+        .tdps(10.0)
+        .parameter_grid({}, halved)
+        .build()
     )
+    results = spot.run(study)
+    nominal = results.filter(lambda row: "parameters" not in row)
+    tightened = results.filter(lambda row: "parameters" in row)
     rows = []
     for name in PDN_ORDER:
-        before = nominal.compare_etee(tdp_w=10.0)[name]
-        after = tightened.compare_etee(tdp_w=10.0)[name]
+        before = nominal.filter(pdn=name).column("etee")[0]
+        after = tightened.filter(pdn=name).column("etee")[0]
         rows.append([name, before, after, after - before])
     print(
         format_table(
@@ -100,7 +111,7 @@ def main() -> None:
     spot = PdnSpot()
     tdp_sweep(spot)
     application_ratio_sweep(spot)
-    tolerance_band_what_if()
+    tolerance_band_what_if(spot)
     iccmax_requirements(spot)
     graphics = spot.compare_etee(tdp_w=18.0, workload_type=WorkloadType.GRAPHICS)
     cpu = spot.compare_etee(tdp_w=18.0, workload_type=WorkloadType.CPU_MULTI_THREAD)

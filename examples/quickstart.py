@@ -11,7 +11,7 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import PdnSpot
+from repro import PdnSpot, Study
 from repro.analysis.reporting import format_table
 from repro.workloads.spec_cpu2006 import SPEC_CPU2006_BENCHMARKS
 
@@ -22,11 +22,13 @@ def main() -> None:
     spot = PdnSpot()
 
     # 1. End-to-end power-conversion efficiency at a tablet-class and a
-    #    desktop-class TDP (CPU-intensive workload, AR = 56 %).
-    rows = []
-    for tdp_w in (4.0, 18.0, 50.0):
-        etee = spot.compare_etee(tdp_w=tdp_w)
-        rows.append([tdp_w] + [etee[name] for name in PDN_ORDER])
+    #    desktop-class TDP (CPU-intensive workload, AR = 56 %), as one
+    #    declarative study run through the cached engine.
+    results = spot.run(Study.over_tdps((4.0, 18.0, 50.0)))
+    rows = [
+        [tdp_w] + [etee[name] for name in PDN_ORDER]
+        for tdp_w, etee in results.pivot("tdp_w", "pdn", "etee").items()
+    ]
     print(format_table(["TDP (W)"] + list(PDN_ORDER), rows, title="ETEE (CPU workload)"))
     print()
 

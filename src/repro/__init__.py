@@ -19,14 +19,19 @@ The library has two halves, mirroring the paper:
 
 Quickstart
 ----------
->>> from repro import PdnSpot
+>>> from repro import PdnSpot, Study
 >>> spot = PdnSpot()
->>> etee = spot.compare_etee(tdp_w=4.0)
+>>> etee = spot.compare_etee(tdp_w=4.0)  # evaluate once, reuse the table
 >>> sorted(etee, key=etee.get)[-1] in ("FlexWatts", "LDO", "MBVR")
 True
+>>> results = spot.run(Study.over_tdps([4.0, 18.0, 50.0]))  # cached batch run
+>>> results.filter(pdn="FlexWatts").unique("tdp_w")
+[4.0, 18.0, 50.0]
 """
 
-from repro.analysis.pdnspot import PdnSpot
+from repro.analysis.pdnspot import CacheInfo, PdnSpot
+from repro.analysis.resultset import ResultSet
+from repro.analysis.study import Scenario, Study, StudyBuilder
 from repro.core.flexwatts import FlexWattsPdn
 from repro.core.hybrid_vr import PdnMode
 from repro.pdn.base import OperatingConditions, PdnEvaluation
@@ -39,6 +44,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "PdnSpot",
+    "CacheInfo",
+    "Study",
+    "StudyBuilder",
+    "Scenario",
+    "ResultSet",
     "FlexWattsPdn",
     "PdnMode",
     "OperatingConditions",

@@ -6,8 +6,14 @@ the multi-dimensional exploration tool the paper describes.
 
 * :mod:`repro.analysis.pdnspot` -- the :class:`PdnSpot` facade: evaluate,
   compare and sweep PDNs across TDPs, application ratios, workloads and power
-  states.
-* :mod:`repro.analysis.sweep` -- generic sweep helpers producing flat records.
+  states, through a keyed evaluation cache (:meth:`PdnSpot.run`,
+  :meth:`PdnSpot.evaluate_batch`).
+* :mod:`repro.analysis.study` -- the declarative :class:`Study` grid and its
+  fluent :class:`StudyBuilder`.
+* :mod:`repro.analysis.resultset` -- the columnar :class:`ResultSet` container
+  with filter/pivot/normalise helpers and JSON/CSV serialisation.
+* :mod:`repro.analysis.sweep` -- legacy sweep helpers (deprecated shims over
+  the Study engine).
 * :mod:`repro.analysis.validation` -- the model-validation harness that mimics
   Sec. 4.3: a synthetic "measured" reference with parameter perturbations and
   measurement noise, against which the models' ETEE predictions are scored.
@@ -16,7 +22,9 @@ the multi-dimensional exploration tool the paper describes.
   examples and benchmark harness.
 """
 
-from repro.analysis.pdnspot import PdnSpot
+from repro.analysis.pdnspot import CacheInfo, PdnSpot
+from repro.analysis.resultset import MISSING, ResultSet
+from repro.analysis.study import Scenario, Study, StudyBuilder, evaluate_study
 from repro.analysis.sweep import sweep_application_ratio, sweep_power_states, sweep_tdp
 from repro.analysis.validation import ValidationHarness, ValidationRecord, ValidationSummary
 from repro.analysis.comparison import normalised_metric_table
@@ -25,6 +33,13 @@ from repro.analysis.sensitivity import SensitivityAnalysis, SensitivityRecord
 
 __all__ = [
     "PdnSpot",
+    "CacheInfo",
+    "Study",
+    "StudyBuilder",
+    "Scenario",
+    "ResultSet",
+    "MISSING",
+    "evaluate_study",
     "sweep_tdp",
     "sweep_application_ratio",
     "sweep_power_states",

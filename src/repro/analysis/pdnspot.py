@@ -2,27 +2,35 @@
 
 :class:`PdnSpot` is the single entry point most users need: it owns a set of
 PDN models built from one technology-parameter set and exposes the paper's
-analyses as methods -- ETEE evaluation and comparison, TDP/AR/power-state
-sweeps, performance comparison against a baseline PDN, battery-life power,
-BOM and board-area comparison.
+analyses as methods -- ETEE evaluation and comparison, declarative
+:class:`~repro.analysis.study.Study` execution (:meth:`PdnSpot.run`),
+TDP/AR/power-state sweeps, performance comparison against a baseline PDN,
+battery-life power, BOM and board-area comparison.
+
+Every evaluation is routed through a keyed memo cache over
+``(parameter overrides, pdn name, operating conditions)``, so the repeated
+grid points that dominate figure regeneration are computed once; see
+:meth:`PdnSpot.cache_info`.
 
 Example
 -------
 >>> from repro import PdnSpot
 >>> spot = PdnSpot()
->>> spot.compare_etee(tdp_w=4.0)["FlexWatts"] > spot.compare_etee(tdp_w=4.0)["IVR"]
+>>> etee = spot.compare_etee(tdp_w=4.0)  # evaluate once, compare many times
+>>> etee["FlexWatts"] > etee["IVR"]
 True
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.analysis.sweep import (
-    Record,
-    sweep_application_ratio,
-    sweep_power_states,
-    sweep_tdp,
+from repro.analysis.resultset import Record, ResultSet
+from repro.analysis.study import (
+    OverrideKey,
+    Study,
+    scenario_records,
 )
 from repro.cost.board_area import BoardAreaModel
 from repro.cost.bom import BomModel
@@ -37,6 +45,51 @@ from repro.workloads.base import Benchmark
 from repro.workloads.battery_life import BATTERY_LIFE_WORKLOADS
 
 
+@dataclass(frozen=True)
+class CacheInfo:
+    """Hit/miss statistics of a :class:`PdnSpot` evaluation cache."""
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def _copy_evaluation(evaluation: PdnEvaluation) -> PdnEvaluation:
+    """A caller-owned copy of a cached evaluation.
+
+    ``PdnEvaluation`` is frozen but its ``breakdown`` (built by mutation
+    inside the PDN models) and ``rail_voltages_v`` are not; handing the cached
+    master to callers would let one caller's mutation corrupt every later
+    cache hit.
+    """
+    breakdown = replace(
+        evaluation.breakdown, rail_details=dict(evaluation.breakdown.rail_details)
+    )
+    return replace(
+        evaluation,
+        breakdown=breakdown,
+        rail_voltages_v=dict(evaluation.rail_voltages_v),
+    )
+
+
+def _conditions_key(conditions: OperatingConditions) -> Tuple[object, ...]:
+    """A hashable identity for an operating point (loads normalised to tuple)."""
+    return (
+        conditions.tdp_w,
+        conditions.application_ratio,
+        conditions.workload_type,
+        conditions.power_state,
+        conditions.board_vr_state,
+        tuple(conditions.loads),
+    )
+
+
 class PdnSpot:
     """Multi-dimensional PDN exploration framework (the paper's PDNspot).
 
@@ -48,6 +101,11 @@ class PdnSpot:
         Which PDN architectures to instantiate; defaults to all five.
     baseline_name:
         The PDN used for normalisation (IVR, the state of the art).
+    enable_cache:
+        Whether evaluations are memoised over ``(overrides, pdn, conditions)``.
+        Disabling reproduces the pre-cache evaluation cost (used by the
+        benchmark harness to track the cache's speedup); results are
+        identical either way because the PDN models are pure.
     """
 
     def __init__(
@@ -55,6 +113,7 @@ class PdnSpot:
         parameters: Optional[PdnTechnologyParameters] = None,
         pdn_names: Optional[Sequence[str]] = None,
         baseline_name: str = "IVR",
+        enable_cache: bool = True,
     ):
         self.parameters = parameters if parameters is not None else default_parameters()
         names = list(pdn_names) if pdn_names is not None else available_pdns()
@@ -66,9 +125,17 @@ class PdnSpot:
             name: build_pdn(name, self.parameters) for name in names
         }
         self._baseline_name = baseline_name
-        self._performance_model = PerformanceModel(self._pdns[baseline_name])
+        self._performance_model = PerformanceModel(
+            self._pdns[baseline_name], evaluator=self._evaluate_instance
+        )
         self._bom_model = BomModel()
         self._area_model = BoardAreaModel()
+        self._cache_enabled = enable_cache
+        self._cache: Dict[Tuple[object, ...], PdnEvaluation] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+        #: Parameter-override PDN variants, keyed by (overrides, pdn name).
+        self._variants: Dict[Tuple[OverrideKey, str], PowerDeliveryNetwork] = {}
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -92,11 +159,100 @@ class PdnSpot:
         return self._pdns[name]
 
     # ------------------------------------------------------------------ #
+    # Cached evaluation engine
+    # ------------------------------------------------------------------ #
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss statistics of the evaluation cache."""
+        return CacheInfo(
+            hits=self._cache_hits, misses=self._cache_misses, size=len(self._cache)
+        )
+
+    def clear_cache(self) -> None:
+        """Drop every memoised evaluation (statistics reset too)."""
+        self._cache.clear()
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    def _variant_pdn(self, name: str, overrides: OverrideKey) -> PowerDeliveryNetwork:
+        """The PDN instance for one parameter-override set (built once)."""
+        if not overrides:
+            return self.pdn(name)
+        self.pdn(name)  # validate the name against the instantiated set
+        key = (overrides, name)
+        if key not in self._variants:
+            parameters = self.parameters.with_overrides(**dict(overrides))
+            self._variants[key] = build_pdn(name, parameters)
+        return self._variants[key]
+
+    def evaluate_cached(
+        self,
+        pdn_name: str,
+        conditions: OperatingConditions,
+        overrides: OverrideKey = (),
+    ) -> PdnEvaluation:
+        """Evaluate one PDN at one operating point through the memo cache."""
+        if not self._cache_enabled:
+            return self._variant_pdn(pdn_name, overrides).evaluate(conditions)
+        key = (overrides, pdn_name, _conditions_key(conditions))
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache_hits += 1
+            return _copy_evaluation(cached)
+        self._cache_misses += 1
+        evaluation = self._variant_pdn(pdn_name, overrides).evaluate(conditions)
+        self._cache[key] = evaluation
+        return _copy_evaluation(evaluation)
+
+    def _evaluate_instance(
+        self, pdn: PowerDeliveryNetwork, conditions: OperatingConditions
+    ) -> PdnEvaluation:
+        """Cached evaluator for collaborators that hold PDN instances."""
+        if pdn is self._pdns.get(pdn.name):
+            return self.evaluate_cached(pdn.name, conditions)
+        return pdn.evaluate(conditions)
+
+    def evaluate_batch(
+        self, points: Iterable[Tuple[str, OperatingConditions]]
+    ) -> List[PdnEvaluation]:
+        """Evaluate many ``(pdn_name, conditions)`` points through the cache.
+
+        Duplicate points -- which dominate figure-regeneration grids -- are
+        computed once and served from the cache afterwards.
+        """
+        return [self.evaluate_cached(name, conditions) for name, conditions in points]
+
+    def run(self, study: Study) -> ResultSet:
+        """Execute a declarative :class:`Study` and return its results.
+
+        Scenarios are evaluated in grid order against every instantiated PDN
+        (or the study's ``pdn_names`` restriction); parameter-override
+        scenarios evaluate against variant models built from
+        ``self.parameters.with_overrides(...)``.  All evaluations go through
+        the memo cache, so overlapping studies share work.
+        """
+        names = study.pdn_names if study.pdn_names is not None else tuple(self._pdns)
+        for name in names:
+            self.pdn(name)  # fail fast on unknown PDNs
+        records: List[Record] = []
+        for scenario in study.scenarios:
+            conditions = scenario.conditions()
+            records.extend(
+                scenario_records(
+                    scenario,
+                    (
+                        (name, self.evaluate_cached(name, conditions, scenario.overrides))
+                        for name in names
+                    ),
+                )
+            )
+        return ResultSet.from_records(records, name=study.name)
+
+    # ------------------------------------------------------------------ #
     # ETEE evaluation
     # ------------------------------------------------------------------ #
     def evaluate(self, pdn_name: str, conditions: OperatingConditions) -> PdnEvaluation:
-        """Evaluate one PDN at an explicit operating point."""
-        return self.pdn(pdn_name).evaluate(conditions)
+        """Evaluate one PDN at an explicit operating point (cached)."""
+        return self.evaluate_cached(pdn_name, conditions)
 
     def compare_etee(
         self,
@@ -108,17 +264,21 @@ class PdnSpot:
         conditions = OperatingConditions.for_active_workload(
             tdp_w, application_ratio, workload_type
         )
-        return {name: pdn.evaluate(conditions).etee for name, pdn in self._pdns.items()}
+        return {
+            name: self.evaluate_cached(name, conditions).etee for name in self._pdns
+        }
 
     def compare_power_state_etee(
         self, tdp_w: float, power_state: PackageCState
     ) -> Dict[str, float]:
         """ETEE of every instantiated PDN in one package power state."""
         conditions = OperatingConditions.for_power_state(tdp_w, power_state)
-        return {name: pdn.evaluate(conditions).etee for name, pdn in self._pdns.items()}
+        return {
+            name: self.evaluate_cached(name, conditions).etee for name in self._pdns
+        }
 
     # ------------------------------------------------------------------ #
-    # Sweeps
+    # Sweeps (thin wrappers over the Study engine)
     # ------------------------------------------------------------------ #
     def tdp_sweep(
         self,
@@ -127,7 +287,9 @@ class PdnSpot:
         workload_type: WorkloadType = WorkloadType.CPU_MULTI_THREAD,
     ) -> List[Record]:
         """ETEE sweep over TDP for every instantiated PDN."""
-        return sweep_tdp(self._pdns.values(), tdps_w, application_ratio, workload_type)
+        return self.run(
+            Study.over_tdps(tdps_w, application_ratio, workload_type)
+        ).to_records()
 
     def application_ratio_sweep(
         self,
@@ -136,13 +298,13 @@ class PdnSpot:
         workload_type: WorkloadType = WorkloadType.CPU_MULTI_THREAD,
     ) -> List[Record]:
         """ETEE sweep over application ratio for every instantiated PDN."""
-        return sweep_application_ratio(
-            self._pdns.values(), application_ratios, tdp_w, workload_type
-        )
+        return self.run(
+            Study.over_application_ratios(application_ratios, tdp_w, workload_type)
+        ).to_records()
 
     def power_state_sweep(self, tdp_w: float) -> List[Record]:
         """ETEE sweep over the battery-life power states."""
-        return sweep_power_states(self._pdns.values(), tdp_w)
+        return self.run(Study.over_power_states(tdp_w)).to_records()
 
     # ------------------------------------------------------------------ #
     # Performance, battery life, cost, area
@@ -169,7 +331,9 @@ class PdnSpot:
         table: Dict[str, Dict[str, float]] = {}
         for workload in BATTERY_LIFE_WORKLOADS:
             table[workload.name] = {
-                name: workload.average_power_w(pdn, tdp_w)
+                name: workload.average_power_w(
+                    pdn, tdp_w, evaluate=self._evaluate_instance
+                )
                 for name, pdn in self._pdns.items()
             }
         return table

@@ -1,0 +1,361 @@
+"""The columnar :class:`ResultSet` container.
+
+Every evaluation surface of the library -- :meth:`PdnSpot.run`, the sweep
+shims, the experiment drivers and the CLI ``sweep``/``export`` commands --
+produces a :class:`ResultSet`: a small, dependency-free columnar table with
+typed accessors, relational-style helpers (:meth:`ResultSet.filter`,
+:meth:`ResultSet.pivot`, :meth:`ResultSet.normalize_to`) and loss-free
+serialisation (:meth:`ResultSet.to_json` / :meth:`ResultSet.from_json`,
+:meth:`ResultSet.to_csv`).
+
+A result set is rectangular but *ragged-schema*: rows produced by different
+scenario kinds may populate different columns (an active-workload row has an
+``application_ratio``, a package-C-state row has a ``power_state``).  Absent
+cells hold the :data:`MISSING` sentinel and are dropped again by
+:meth:`ResultSet.to_records`, so records round-trip exactly through the
+columnar representation.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.util.errors import ConfigurationError
+
+
+class _Missing:
+    """Sentinel for cells a row does not populate (distinct from ``None``)."""
+
+    _instance: Optional["_Missing"] = None
+
+    def __new__(cls) -> "_Missing":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "MISSING"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The one shared missing-cell sentinel.
+MISSING = _Missing()
+
+Record = Dict[str, object]
+
+
+def _hashable(value: object) -> object:
+    """A hashable stand-in for a cell value (dict/list cells become tuples).
+
+    Scenario parameter-override cells are stored as dictionaries for readable
+    records and JSON; grouping and dedup keys need a hashable form.
+    """
+    if isinstance(value, dict):
+        return tuple(sorted((key, _hashable(item)) for key, item in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_hashable(item) for item in value)
+    return value
+
+
+class ResultSet:
+    """An immutable columnar table of evaluation results.
+
+    Parameters
+    ----------
+    columns:
+        Mapping of column name to cell list; all columns must have the same
+        length.  Insertion order is the column order.
+    name:
+        Optional label (usually the name of the :class:`Study` that produced
+        the results); carried through serialisation.
+    """
+
+    __slots__ = ("_columns", "_length", "name")
+
+    def __init__(self, columns: Mapping[str, Sequence[object]], name: str = ""):
+        self._columns: Dict[str, List[object]] = {
+            str(key): list(values) for key, values in columns.items()
+        }
+        lengths = {len(values) for values in self._columns.values()}
+        if len(lengths) > 1:
+            raise ConfigurationError(
+                f"ragged ResultSet: column lengths {sorted(lengths)} differ"
+            )
+        self._length = lengths.pop() if lengths else 0
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_records(
+        cls, records: Iterable[Record], name: str = ""
+    ) -> "ResultSet":
+        """Build a result set from row dictionaries.
+
+        The column order is the first-seen key order across all records; cells
+        a record does not provide are filled with :data:`MISSING`.
+        """
+        columns: Dict[str, List[object]] = {}
+        length = 0
+        for record in records:
+            for key, value in record.items():
+                if key not in columns:
+                    columns[key] = [MISSING] * length
+                columns[key].append(value)
+            length += 1
+            for key, cells in columns.items():
+                if len(cells) < length:
+                    cells.append(MISSING)
+        return cls(columns, name=name)
+
+    @classmethod
+    def concat(cls, resultsets: Iterable["ResultSet"], name: str = "") -> "ResultSet":
+        """Concatenate several result sets row-wise (union of columns)."""
+        records: List[Record] = []
+        for resultset in resultsets:
+            records.extend(resultset.to_records())
+        return cls.from_records(records, name=name)
+
+    # ------------------------------------------------------------------ #
+    # Shape and access
+    # ------------------------------------------------------------------ #
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        """The column names, in order."""
+        return tuple(self._columns)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        return self._length > 0
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.to_records())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResultSet):
+            return NotImplemented
+        return self.columns == other.columns and self._columns == other._columns
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<ResultSet{label}: {self._length} rows x {len(self._columns)} columns>"
+
+    def column(self, name: str) -> List[object]:
+        """The cells of one column (a copy), including :data:`MISSING` cells."""
+        if name not in self._columns:
+            raise ConfigurationError(
+                f"unknown column {name!r}; available: {', '.join(self._columns)}"
+            )
+        return list(self._columns[name])
+
+    def unique(self, name: str) -> List[object]:
+        """Distinct non-missing values of one column, in first-seen order."""
+        seen: Dict[object, object] = {}
+        for value in self.column(name):
+            key = _hashable(value)
+            if value is not MISSING and key not in seen:
+                seen[key] = value
+        return list(seen.values())
+
+    def row(self, index: int) -> Record:
+        """One row as a record (missing cells dropped)."""
+        return {
+            key: cells[index]
+            for key, cells in self._columns.items()
+            if cells[index] is not MISSING
+        }
+
+    # ------------------------------------------------------------------ #
+    # Relational helpers
+    # ------------------------------------------------------------------ #
+    def filter(
+        self,
+        predicate: Optional[Callable[[Record], bool]] = None,
+        **equals: object,
+    ) -> "ResultSet":
+        """Rows matching ``predicate`` and/or column equality constraints.
+
+        ``rs.filter(pdn="IVR", tdp_w=4.0)`` keeps the rows whose ``pdn`` cell
+        equals ``"IVR"`` and whose ``tdp_w`` cell equals ``4.0``; rows missing
+        a constrained column never match, and constraining a column the result
+        set does not have at all is an error (usually a typo'd name).
+        """
+        constraints = []
+        for key, value in equals.items():
+            if key not in self._columns:
+                raise ConfigurationError(
+                    f"unknown column {key!r}; available: {', '.join(self._columns)}"
+                )
+            constraints.append((self._columns[key], value))
+        indices: List[int] = []
+        for index in range(self._length):
+            if any(cells[index] != value for cells, value in constraints):
+                continue
+            if predicate is not None and not predicate(self.row(index)):
+                continue
+            indices.append(index)
+        columns = {
+            key: [cells[index] for index in indices]
+            for key, cells in self._columns.items()
+        }
+        return ResultSet(columns, name=self.name)
+
+    def pivot(
+        self, index: str, columns: str, values: str
+    ) -> Dict[object, Dict[object, object]]:
+        """Pivot into a nested ``index -> column -> value`` mapping.
+
+        The output feeds :func:`repro.analysis.reporting.format_mapping_table`
+        directly; with duplicate ``(index, column)`` pairs the last row wins.
+        """
+        for name in (index, columns, values):
+            if name not in self._columns:
+                raise ConfigurationError(
+                    f"unknown column {name!r}; available: {', '.join(self._columns)}"
+                )
+        table: Dict[object, Dict[object, object]] = {}
+        for row_index in range(self._length):
+            row_key = self._columns[index][row_index]
+            column_key = self._columns[columns][row_index]
+            value = self._columns[values][row_index]
+            if MISSING in (row_key, column_key, value):
+                continue
+            table.setdefault(row_key, {})[column_key] = value
+        return table
+
+    def normalize_to(
+        self,
+        baseline: str,
+        value_columns: Optional[Sequence[str]] = None,
+        key_column: str = "pdn",
+    ) -> "ResultSet":
+        """Divide the value columns by the ``baseline`` row of each scenario.
+
+        Rows are grouped by scenario -- every column that is neither
+        ``key_column``, nor a value column, nor one of the standard metric
+        columns (``etee``/``supply_power_w``/``nominal_power_w``, which vary
+        per PDN and are never part of a scenario's identity); within each
+        group the value cells are divided by the cells of the row whose
+        ``key_column`` equals ``baseline`` -- the paper's "normalised to the
+        IVR PDN" convention.
+        """
+        if key_column not in self._columns:
+            raise ConfigurationError(f"key column {key_column!r} not in result set")
+        if value_columns is None:
+            value_columns = [
+                column
+                for column in ("etee", "supply_power_w", "nominal_power_w")
+                if column in self._columns
+            ]
+        if not value_columns:
+            raise ConfigurationError("no value columns to normalise")
+        for column in value_columns:
+            if column not in self._columns:
+                raise ConfigurationError(f"value column {column!r} not in result set")
+        non_scenario = {"etee", "supply_power_w", "nominal_power_w", key_column}
+        non_scenario.update(value_columns)
+        group_columns = [
+            column for column in self._columns if column not in non_scenario
+        ]
+
+        def group_key(index: int) -> Tuple[object, ...]:
+            return tuple(
+                _hashable(self._columns[column][index]) for column in group_columns
+            )
+
+        references: Dict[Tuple[object, ...], Dict[str, object]] = {}
+        for index in range(self._length):
+            if self._columns[key_column][index] == baseline:
+                references[group_key(index)] = {
+                    column: self._columns[column][index] for column in value_columns
+                }
+        normalised = {key: list(cells) for key, cells in self._columns.items()}
+        for index in range(self._length):
+            reference = references.get(group_key(index))
+            if reference is None:
+                raise ConfigurationError(
+                    f"no {key_column}={baseline!r} row for scenario {group_key(index)!r}"
+                )
+            for column in value_columns:
+                cell = normalised[column][index]
+                if cell is MISSING:
+                    continue
+                reference_value = reference[column]
+                if reference_value is MISSING:
+                    # Leaving the absolute value would silently mix raw and
+                    # normalised cells in one column.
+                    raise ConfigurationError(
+                        f"baseline row for scenario {group_key(index)!r} has no "
+                        f"{column!r} value; cannot normalise"
+                    )
+                if reference_value == 0.0:
+                    raise ConfigurationError(
+                        f"baseline value of {column!r} is zero; cannot normalise"
+                    )
+                normalised[column][index] = cell / reference_value
+        return ResultSet(normalised, name=self.name)
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_records(self) -> List[Record]:
+        """The rows as plain dictionaries (missing cells dropped)."""
+        return [self.row(index) for index in range(self._length)]
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialise as JSON (missing cells become ``null``)."""
+        payload = {
+            "name": self.name,
+            "columns": list(self._columns),
+            "rows": [
+                [
+                    None if cells[index] is MISSING else cells[index]
+                    for cells in self._columns.values()
+                ]
+                for index in range(self._length)
+            ],
+        }
+        return json.dumps(payload, indent=indent, default=str)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultSet":
+        """Rebuild a result set from :meth:`to_json` output."""
+        payload = json.loads(text)
+        try:
+            column_names = payload["columns"]
+            rows = payload["rows"]
+        except (TypeError, KeyError) as error:
+            raise ConfigurationError(
+                "not a serialised ResultSet: expected 'columns' and 'rows' keys"
+            ) from error
+        columns: Dict[str, List[object]] = {name: [] for name in column_names}
+        for row in rows:
+            if len(row) != len(column_names):
+                raise ConfigurationError(
+                    f"row width {len(row)} does not match {len(column_names)} columns"
+                )
+            for name, cell in zip(column_names, row):
+                columns[name].append(MISSING if cell is None else cell)
+        return cls(columns, name=payload.get("name", ""))
+
+    def to_csv(self) -> str:
+        """Serialise as CSV with a header row (missing cells become empty)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(list(self._columns))
+        for index in range(self._length):
+            writer.writerow(
+                [
+                    "" if cells[index] is MISSING else cells[index]
+                    for cells in self._columns.values()
+                ]
+            )
+        return buffer.getvalue()

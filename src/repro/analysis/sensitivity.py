@@ -11,6 +11,11 @@ by a relative amount, re-evaluates every PDN at a chosen operating point, and
 reports the ETEE swing each PDN sees.  This powers the what-if sections of the
 design-space-exploration example and provides the quantitative backing for the
 "insensitive within the published ranges" claim the validation makes.
+
+The analysis is built on the cached :class:`PdnSpot` engine: perturbed models
+are built once per override set and the unperturbed baseline -- shared by
+every parameter of a tornado sweep -- is evaluated exactly once per PDN
+instead of once per (parameter, direction) pair.
 """
 
 from __future__ import annotations
@@ -18,8 +23,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.pdnspot import PdnSpot
 from repro.pdn.base import OperatingConditions
-from repro.pdn.registry import available_pdns, build_pdn
+from repro.pdn.registry import available_pdns
 from repro.power.domains import WorkloadType
 from repro.power.parameters import PdnTechnologyParameters, default_parameters
 from repro.util.errors import ConfigurationError
@@ -71,15 +77,22 @@ class SensitivityAnalysis:
     ):
         self._parameters = parameters if parameters is not None else default_parameters()
         self._pdn_names = list(pdn_names) if pdn_names is not None else available_pdns()
+        if not self._pdn_names:
+            raise ConfigurationError("a sensitivity analysis needs at least one PDN")
+        # The shared cached engine; the baseline is the first PDN only because
+        # PdnSpot requires one -- sensitivity never normalises to it.
+        self._spot = PdnSpot(
+            parameters=self._parameters,
+            pdn_names=self._pdn_names,
+            baseline_name=self._pdn_names[0],
+        )
 
     @property
     def pdn_names(self) -> List[str]:
         """The PDN architectures included in the study."""
         return list(self._pdn_names)
 
-    def _perturbed_parameters(
-        self, parameter: str, relative_change: float
-    ) -> PdnTechnologyParameters:
+    def _perturbed_value(self, parameter: str, relative_change: float) -> float:
         if parameter not in PERTURBABLE_PARAMETERS:
             raise ConfigurationError(
                 f"unknown or non-scalar parameter {parameter!r}; "
@@ -90,7 +103,7 @@ class SensitivityAnalysis:
         # Fraction-valued parameters (efficiencies) stay physical.
         if parameter == "ldo_current_efficiency":
             perturbed = min(1.0, max(0.0, perturbed))
-        return self._parameters.with_overrides(**{parameter: perturbed})
+        return perturbed
 
     def perturb(
         self,
@@ -114,11 +127,14 @@ class SensitivityAnalysis:
             conditions = OperatingConditions.for_active_workload(
                 18.0, 0.56, WorkloadType.CPU_MULTI_THREAD
             )
-        perturbed_parameters = self._perturbed_parameters(parameter, relative_change)
+        perturbed_value = self._perturbed_value(parameter, relative_change)
+        overrides = ((parameter, perturbed_value),)
         records: List[SensitivityRecord] = []
         for name in self._pdn_names:
-            baseline_etee = build_pdn(name, self._parameters).evaluate(conditions).etee
-            perturbed_etee = build_pdn(name, perturbed_parameters).evaluate(conditions).etee
+            baseline_etee = self._spot.evaluate_cached(name, conditions).etee
+            perturbed_etee = self._spot.evaluate_cached(
+                name, conditions, overrides
+            ).etee
             records.append(
                 SensitivityRecord(
                     pdn_name=name,

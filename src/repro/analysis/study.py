@@ -1,0 +1,432 @@
+"""Declarative evaluation studies.
+
+A :class:`Study` is the typed description of a grid of operating points the
+paper's PDNspot explores: TDP x application ratio x workload type for active
+workloads, TDP x package power state for idle states, optionally crossed with
+technology-parameter overrides.  Studies are built either through the fluent
+:class:`StudyBuilder` (``Study.builder(...)``) or through the named
+convenience constructors (:meth:`Study.over_tdps`,
+:meth:`Study.over_application_ratios`, :meth:`Study.over_power_states`).
+
+A study says *what* to evaluate; :meth:`repro.analysis.pdnspot.PdnSpot.run`
+(cached, parameter-override aware) or :func:`evaluate_study` (plain PDN
+instances) say *how*, and both return a
+:class:`repro.analysis.resultset.ResultSet`.
+
+Scenario iteration order is deterministic -- parameter overrides, then
+workload type, then TDP, then application ratio for the active part, followed
+by TDP then power state for the idle part -- which is exactly the record
+order the legacy ``sweep_*`` helpers produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.analysis.resultset import Record, ResultSet
+from repro.pdn.base import (
+    OperatingConditions,
+    PdnEvaluation,
+    PowerDeliveryNetwork,
+    evaluate_pdn,
+)
+from repro.power.domains import WorkloadType
+from repro.power.power_states import BATTERY_LIFE_STATES, PackageCState
+from repro.util.errors import ConfigurationError, ModelDomainError
+
+#: A parameter-override set, normalised to a hashable sorted tuple of pairs.
+OverrideKey = Tuple[Tuple[str, object], ...]
+
+#: The default active operating point of the paper's comparisons (AR = 56 %,
+#: CPU-intensive), used when a study axis is left unspecified.
+DEFAULT_APPLICATION_RATIO = 0.56
+DEFAULT_WORKLOAD_TYPE = WorkloadType.CPU_MULTI_THREAD
+
+
+def _freeze_overrides(overrides: Optional[Mapping[str, object]]) -> OverrideKey:
+    if not overrides:
+        return ()
+    return tuple(sorted(overrides.items()))
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named point of a study grid.
+
+    An *active* scenario (``power_state`` is ``C0``) carries an application
+    ratio and a workload type; an *idle* scenario carries a package C-state
+    whose profile fixes the loads.  Either kind may carry technology-parameter
+    overrides, applied on top of the evaluating :class:`PdnSpot`'s parameters.
+    """
+
+    tdp_w: float
+    power_state: PackageCState = PackageCState.C0
+    application_ratio: Optional[float] = None
+    workload_type: Optional[WorkloadType] = None
+    overrides: OverrideKey = ()
+
+    def __post_init__(self) -> None:
+        if self.is_active:
+            if self.application_ratio is None or self.workload_type is None:
+                raise ConfigurationError(
+                    "an active (C0) scenario needs an application_ratio and a workload_type"
+                )
+        elif self.application_ratio is not None or self.workload_type is not None:
+            raise ConfigurationError(
+                f"a {self.power_state.value} scenario takes its application ratio and "
+                "workload type from the power-state profile"
+            )
+
+    @property
+    def is_active(self) -> bool:
+        """Whether this is an active-workload (C0) scenario."""
+        return self.power_state is PackageCState.C0
+
+    def conditions(self) -> OperatingConditions:
+        """Materialise the scenario as an :class:`OperatingConditions` point."""
+        if self.is_active:
+            return OperatingConditions.for_active_workload(
+                self.tdp_w, self.application_ratio, self.workload_type
+            )
+        return OperatingConditions.for_power_state(self.tdp_w, self.power_state)
+
+    def record_fields(self) -> Record:
+        """The scenario's identifying record fields (legacy sweep layout)."""
+        fields_: Record = {"tdp_w": self.tdp_w}
+        if self.is_active:
+            fields_["application_ratio"] = self.application_ratio
+            fields_["workload_type"] = self.workload_type.value
+        else:
+            fields_["power_state"] = self.power_state.value
+        if self.overrides:
+            fields_["parameters"] = dict(self.overrides)
+        return fields_
+
+
+@dataclass(frozen=True)
+class Study:
+    """A named, ordered grid of :class:`Scenario` points.
+
+    Attributes
+    ----------
+    name:
+        Label carried into the produced :class:`ResultSet`.
+    scenarios:
+        The grid points, in evaluation order.
+    pdn_names:
+        Optional restriction of the PDN architectures to evaluate; ``None``
+        means "every PDN the evaluating engine has".
+    """
+
+    name: str
+    scenarios: Tuple[Scenario, ...]
+    pdn_names: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a study needs a non-empty name")
+        if not self.scenarios:
+            raise ConfigurationError(f"study {self.name!r} has no scenarios")
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    @staticmethod
+    def builder(name: str = "study") -> "StudyBuilder":
+        """Start a fluent :class:`StudyBuilder`."""
+        return StudyBuilder(name)
+
+    def with_pdns(self, *names: Union[str, Sequence[str]]) -> "Study":
+        """A copy of this study restricted to the named PDN architectures."""
+        return Study(
+            name=self.name,
+            scenarios=self.scenarios,
+            pdn_names=tuple(str(name) for name in _flatten(names)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors (the three classic sweeps)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def over_tdps(
+        cls,
+        tdps_w: Sequence[float],
+        application_ratio: float = DEFAULT_APPLICATION_RATIO,
+        workload_type: WorkloadType = DEFAULT_WORKLOAD_TYPE,
+        name: str = "tdp-sweep",
+    ) -> "Study":
+        """ETEE-vs-TDP study at one application ratio and workload type."""
+        return (
+            cls.builder(name)
+            .tdps(*tdps_w)
+            .application_ratios(application_ratio)
+            .workload_types(workload_type)
+            .build()
+        )
+
+    @classmethod
+    def over_application_ratios(
+        cls,
+        application_ratios: Sequence[float],
+        tdp_w: float,
+        workload_type: WorkloadType = DEFAULT_WORKLOAD_TYPE,
+        name: str = "application-ratio-sweep",
+    ) -> "Study":
+        """ETEE-vs-AR study at one TDP and workload type."""
+        return (
+            cls.builder(name)
+            .tdps(tdp_w)
+            .application_ratios(*application_ratios)
+            .workload_types(workload_type)
+            .build()
+        )
+
+    @classmethod
+    def over_power_states(
+        cls,
+        tdp_w: float,
+        power_states: Sequence[PackageCState] = BATTERY_LIFE_STATES,
+        name: str = "power-state-sweep",
+    ) -> "Study":
+        """ETEE study across the battery-life package power states."""
+        return cls.builder(name).tdps(tdp_w).power_states(*power_states).build()
+
+
+def _flatten(values: Tuple[object, ...]) -> List[object]:
+    """Accept both ``axis(a, b, c)`` and ``axis([a, b, c])`` call styles."""
+    flat: List[object] = []
+    for value in values:
+        if isinstance(value, (list, tuple)):
+            flat.extend(value)
+        else:
+            flat.append(value)
+    return flat
+
+
+class StudyBuilder:
+    """Fluent builder of :class:`Study` grids.
+
+    Example
+    -------
+    >>> from repro.analysis.study import Study
+    >>> from repro.power.domains import WorkloadType
+    >>> study = (
+    ...     Study.builder("fig4-style-grid")
+    ...     .tdps(4.0, 18.0, 50.0)
+    ...     .application_ratios(0.4, 0.6, 0.8)
+    ...     .workload_types(WorkloadType.CPU_MULTI_THREAD, WorkloadType.GRAPHICS)
+    ...     .build()
+    ... )
+    >>> len(study.scenarios)
+    18
+    """
+
+    def __init__(self, name: str = "study"):
+        self._name = name
+        self._tdps_w: List[float] = []
+        self._application_ratios: List[float] = []
+        self._workload_types: List[WorkloadType] = []
+        self._power_states: List[PackageCState] = []
+        self._parameter_grid: List[Dict[str, object]] = []
+        self._pdn_names: Optional[List[str]] = None
+        self._extra_scenarios: List[Scenario] = []
+
+    # Axis setters ------------------------------------------------------ #
+    def tdps(self, *tdps_w: Union[float, Sequence[float]]) -> "StudyBuilder":
+        """Add TDP levels (watts) to the grid."""
+        self._tdps_w.extend(float(value) for value in _flatten(tdps_w))
+        return self
+
+    def application_ratios(
+        self, *ratios: Union[float, Sequence[float]]
+    ) -> "StudyBuilder":
+        """Add application ratios to the active part of the grid."""
+        self._application_ratios.extend(float(value) for value in _flatten(ratios))
+        return self
+
+    def workload_types(
+        self, *types: Union[WorkloadType, str, Sequence[object]]
+    ) -> "StudyBuilder":
+        """Add workload types (enum members or their string values)."""
+        for value in _flatten(types):
+            self._workload_types.append(
+                value if isinstance(value, WorkloadType) else WorkloadType(value)
+            )
+        return self
+
+    def power_states(
+        self, *states: Union[PackageCState, str, Sequence[object]]
+    ) -> "StudyBuilder":
+        """Add package power states (C0_MIN..C8) to the idle part of the grid."""
+        for value in _flatten(states):
+            state = value if isinstance(value, PackageCState) else PackageCState(value)
+            if state is PackageCState.C0:
+                raise ConfigurationError(
+                    "C0 is the active state; use application_ratios/workload_types"
+                )
+            self._power_states.append(state)
+        return self
+
+    def parameter_grid(
+        self, *overrides: Mapping[str, object]
+    ) -> "StudyBuilder":
+        """Cross the grid with technology-parameter override sets.
+
+        Each mapping is applied with
+        :meth:`PdnTechnologyParameters.with_overrides` by the evaluating
+        :class:`PdnSpot`; pass ``{}`` to keep the unperturbed point in the
+        grid alongside the variants.
+        """
+        self._parameter_grid.extend(dict(override) for override in overrides)
+        return self
+
+    def pdns(self, *names: Union[str, Sequence[str]]) -> "StudyBuilder":
+        """Restrict the study to the named PDN architectures."""
+        if self._pdn_names is None:
+            self._pdn_names = []
+        self._pdn_names.extend(str(name) for name in _flatten(names))
+        return self
+
+    def scenario(self, scenario: Scenario) -> "StudyBuilder":
+        """Append an explicit :class:`Scenario` after the generated grid."""
+        self._extra_scenarios.append(scenario)
+        return self
+
+    # Build ------------------------------------------------------------- #
+    def build(self) -> Study:
+        """Materialise the grid into an immutable :class:`Study`."""
+        if not self._tdps_w:
+            if not self._extra_scenarios:
+                raise ConfigurationError(
+                    f"study {self._name!r} needs at least one TDP (or explicit scenario)"
+                )
+            if (
+                self._application_ratios
+                or self._workload_types
+                or self._power_states
+                or self._parameter_grid
+            ):
+                # Every generated axis is crossed with the TDP axis; without
+                # TDPs the configured axes would be silently dropped.
+                raise ConfigurationError(
+                    f"study {self._name!r} configures grid axes but no TDPs; "
+                    "add .tdps(...) or use explicit scenarios only"
+                )
+        wants_active = bool(self._application_ratios or self._workload_types) or not (
+            self._power_states
+        )
+        ratios = self._application_ratios or [DEFAULT_APPLICATION_RATIO]
+        types = self._workload_types or [DEFAULT_WORKLOAD_TYPE]
+        override_grid: List[OverrideKey] = [
+            _freeze_overrides(overrides) for overrides in self._parameter_grid
+        ] or [()]
+        scenarios: List[Scenario] = []
+        for overrides in override_grid:
+            if wants_active and self._tdps_w:
+                for workload_type in types:
+                    for tdp_w in self._tdps_w:
+                        for ratio in ratios:
+                            scenarios.append(
+                                Scenario(
+                                    tdp_w=tdp_w,
+                                    application_ratio=ratio,
+                                    workload_type=workload_type,
+                                    overrides=overrides,
+                                )
+                            )
+            for tdp_w in self._tdps_w:
+                for state in self._power_states:
+                    scenarios.append(
+                        Scenario(tdp_w=tdp_w, power_state=state, overrides=overrides)
+                    )
+        scenarios.extend(self._extra_scenarios)
+        return Study(
+            name=self._name,
+            scenarios=tuple(scenarios),
+            pdn_names=tuple(self._pdn_names) if self._pdn_names is not None else None,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Plain (instance-based, uncached) study evaluation
+# ---------------------------------------------------------------------- #
+Evaluator = Callable[[PowerDeliveryNetwork, OperatingConditions], PdnEvaluation]
+
+
+def scenario_records(
+    scenario: Scenario,
+    evaluations: Iterable[Tuple[str, PdnEvaluation]],
+) -> List[Record]:
+    """Flatten one scenario's per-PDN evaluations into sweep-layout records."""
+    fields = scenario.record_fields()
+    return [
+        {
+            "pdn": pdn_name,
+            **fields,
+            "etee": evaluation.etee,
+            "supply_power_w": evaluation.supply_power_w,
+            "nominal_power_w": evaluation.nominal_power_w,
+        }
+        for pdn_name, evaluation in evaluations
+    ]
+
+
+def evaluate_study(
+    study: Study,
+    pdns: Union[Mapping[str, PowerDeliveryNetwork], Iterable[PowerDeliveryNetwork]],
+    evaluate: Optional[Evaluator] = None,
+) -> ResultSet:
+    """Evaluate ``study`` against concrete PDN instances.
+
+    This is the engine behind the legacy ``sweep_*`` shims and the validation
+    grid: it has no memo cache and no parameter-override support (overrides
+    need a :class:`PdnSpot`, which owns the parameter set and can rebuild its
+    models -- use :meth:`PdnSpot.run`).
+
+    Parameters
+    ----------
+    study:
+        The scenario grid to evaluate.
+    pdns:
+        The PDN models, either as a ``name -> instance`` mapping or as an
+        iterable of instances (keyed by their ``name`` attribute).
+    evaluate:
+        Optional evaluation hook ``(pdn, conditions) -> PdnEvaluation``;
+        defaults to calling ``pdn.evaluate`` directly.
+    """
+    if isinstance(pdns, Mapping):
+        items: List[Tuple[str, PowerDeliveryNetwork]] = list(pdns.items())
+    else:
+        # Preserve duplicates and order: legacy sweep callers may pass several
+        # same-named instances (e.g. nominal vs perturbed parameters) and
+        # expect one record per instance.
+        items = [(pdn.name, pdn) for pdn in pdns]
+    if study.pdn_names is not None:
+        provided = {name for name, _ in items}
+        missing = [name for name in study.pdn_names if name not in provided]
+        if missing:
+            raise ConfigurationError(
+                f"study {study.name!r} needs PDNs not provided: {', '.join(missing)}"
+            )
+        by_name = {}
+        for name, pdn in items:
+            by_name.setdefault(name, pdn)
+        items = [(name, by_name[name]) for name in study.pdn_names]
+    if evaluate is None:
+        evaluate = evaluate_pdn
+    records: List[Record] = []
+    for scenario in study.scenarios:
+        if scenario.overrides:
+            raise ModelDomainError(
+                "parameter-override scenarios need a PdnSpot engine; "
+                "use PdnSpot.run(study)"
+            )
+        conditions = scenario.conditions()
+        records.extend(
+            scenario_records(
+                scenario,
+                ((name, evaluate(pdn, conditions)) for name, pdn in items),
+            )
+        )
+    return ResultSet.from_records(records, name=study.name)

@@ -1,21 +1,40 @@
-"""Generic sweep helpers.
+"""Legacy sweep helpers (deprecated shims over the Study engine).
 
-The experiments and examples repeatedly need the same three sweeps: ETEE over
-TDP, ETEE over application ratio, and ETEE over package power state, for one
-or more PDN architectures.  Each helper returns a flat list of dictionaries
-(records) so the results can be tabulated, asserted against in tests, or
-post-processed with numpy without the library imposing a dataframe dependency.
+The original analysis layer exposed three ad-hoc sweep functions returning
+flat lists of dictionaries.  They are superseded by the declarative
+:class:`repro.analysis.study.Study` /
+:class:`repro.analysis.resultset.ResultSet` API -- build a study, run it with
+:meth:`repro.analysis.pdnspot.PdnSpot.run` (cached) and call
+:meth:`ResultSet.to_records` if you need the old record layout::
+
+    spot = PdnSpot()
+    records = spot.run(Study.over_tdps([4.0, 18.0, 50.0])).to_records()
+
+The helpers below remain as thin deprecated shims that delegate to the same
+engine and return byte-identical records, so existing callers keep working
+while emitting a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterable, List, Sequence
 
-from repro.pdn.base import OperatingConditions, PowerDeliveryNetwork
+from repro.analysis.study import Study, evaluate_study
+from repro.pdn.base import PowerDeliveryNetwork
 from repro.power.domains import WorkloadType
 from repro.power.power_states import BATTERY_LIFE_STATES, PackageCState
 
 Record = Dict[str, object]
+
+
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"{name} is deprecated; build a Study and run it with PdnSpot.run "
+        "(see repro.analysis.study)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def sweep_tdp(
@@ -24,27 +43,15 @@ def sweep_tdp(
     application_ratio: float = 0.56,
     workload_type: WorkloadType = WorkloadType.CPU_MULTI_THREAD,
 ) -> List[Record]:
-    """ETEE of each PDN at each TDP (fixed AR and workload type)."""
-    records: List[Record] = []
+    """ETEE of each PDN at each TDP (fixed AR and workload type).
+
+    .. deprecated::
+        Use ``PdnSpot.run(Study.over_tdps(...))`` instead.
+    """
+    _deprecated("sweep_tdp")
     pdn_list = list(pdns)
-    for tdp_w in tdps_w:
-        conditions = OperatingConditions.for_active_workload(
-            tdp_w, application_ratio, workload_type
-        )
-        for pdn in pdn_list:
-            evaluation = pdn.evaluate(conditions)
-            records.append(
-                {
-                    "pdn": pdn.name,
-                    "tdp_w": tdp_w,
-                    "application_ratio": application_ratio,
-                    "workload_type": workload_type.value,
-                    "etee": evaluation.etee,
-                    "supply_power_w": evaluation.supply_power_w,
-                    "nominal_power_w": evaluation.nominal_power_w,
-                }
-            )
-    return records
+    study = Study.over_tdps(tdps_w, application_ratio, workload_type)
+    return evaluate_study(study, pdn_list).to_records()
 
 
 def sweep_application_ratio(
@@ -53,27 +60,15 @@ def sweep_application_ratio(
     tdp_w: float,
     workload_type: WorkloadType = WorkloadType.CPU_MULTI_THREAD,
 ) -> List[Record]:
-    """ETEE of each PDN across application ratios (fixed TDP and type)."""
-    records: List[Record] = []
+    """ETEE of each PDN across application ratios (fixed TDP and type).
+
+    .. deprecated::
+        Use ``PdnSpot.run(Study.over_application_ratios(...))`` instead.
+    """
+    _deprecated("sweep_application_ratio")
     pdn_list = list(pdns)
-    for application_ratio in application_ratios:
-        conditions = OperatingConditions.for_active_workload(
-            tdp_w, application_ratio, workload_type
-        )
-        for pdn in pdn_list:
-            evaluation = pdn.evaluate(conditions)
-            records.append(
-                {
-                    "pdn": pdn.name,
-                    "tdp_w": tdp_w,
-                    "application_ratio": application_ratio,
-                    "workload_type": workload_type.value,
-                    "etee": evaluation.etee,
-                    "supply_power_w": evaluation.supply_power_w,
-                    "nominal_power_w": evaluation.nominal_power_w,
-                }
-            )
-    return records
+    study = Study.over_application_ratios(application_ratios, tdp_w, workload_type)
+    return evaluate_study(study, pdn_list).to_records()
 
 
 def sweep_power_states(
@@ -81,26 +76,21 @@ def sweep_power_states(
     tdp_w: float,
     power_states: Sequence[PackageCState] = BATTERY_LIFE_STATES,
 ) -> List[Record]:
-    """ETEE of each PDN across the battery-life package power states."""
-    records: List[Record] = []
+    """ETEE of each PDN across the battery-life package power states.
+
+    .. deprecated::
+        Use ``PdnSpot.run(Study.over_power_states(...))`` instead.
+    """
+    _deprecated("sweep_power_states")
     pdn_list = list(pdns)
-    for state in power_states:
-        conditions = OperatingConditions.for_power_state(tdp_w, state)
-        for pdn in pdn_list:
-            evaluation = pdn.evaluate(conditions)
-            records.append(
-                {
-                    "pdn": pdn.name,
-                    "tdp_w": tdp_w,
-                    "power_state": state.value,
-                    "etee": evaluation.etee,
-                    "supply_power_w": evaluation.supply_power_w,
-                    "nominal_power_w": evaluation.nominal_power_w,
-                }
-            )
-    return records
+    study = Study.over_power_states(tdp_w, power_states)
+    return evaluate_study(study, pdn_list).to_records()
 
 
 def records_for_pdn(records: Iterable[Record], pdn_name: str) -> List[Record]:
-    """Filter sweep records down to one PDN."""
+    """Filter sweep records down to one PDN.
+
+    Kept for convenience; the :class:`ResultSet` equivalent is
+    ``resultset.filter(pdn=pdn_name)``.
+    """
     return [record for record in records if record["pdn"] == pdn_name]

@@ -3,31 +3,45 @@
 The CLI exposes the most common analyses without writing any Python::
 
     python -m repro etee --tdp 4 --workload cpu_multi_thread
-    python -m repro performance --tdp 4 --suite spec
+    python -m repro performance --tdp 4 --suite spec --json
     python -m repro battery-life
     python -m repro cost --tdp 18
     python -m repro figures --quick
     python -m repro predict --tdp 50 --ar 0.6 --workload graphics
+    python -m repro sweep --tdps 4 18 50 --ars 0.4 0.56 --format csv
+    python -m repro export fig3 --format json --output fig3.json
 
-Every sub-command prints a plain-text table (no plotting dependency), the same
-tables the experiment drivers and examples produce.
+Every sub-command prints a plain-text table by default (no plotting
+dependency); ``--json`` (and ``--format json|csv`` on ``sweep``/``export``)
+emits the underlying data for scripting.  The ``sweep`` command builds a
+declarative :class:`~repro.analysis.study.Study` from its axis flags and runs
+it through the cached :meth:`PdnSpot.run` engine.
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import List, Optional, Sequence
+import json
+import sys
+from typing import Optional, Sequence
 
 from repro.analysis.pdnspot import PdnSpot
 from repro.analysis.reporting import format_mapping_table, format_table
+from repro.analysis.resultset import MISSING, ResultSet
+from repro.analysis.study import Study
 from repro.core.hybrid_vr import PdnMode
 from repro.core.runtime_estimator import RuntimeInputEstimator
 from repro.pdn.base import OperatingConditions
 from repro.power.domains import WorkloadType
+from repro.power.power_states import PackageCState
+from repro.util.errors import ReproError
 from repro.workloads.graphics import THREEDMARK06_BENCHMARKS
 from repro.workloads.spec_cpu2006 import SPEC_CPU2006_BENCHMARKS
 
 PDN_ORDER = ("IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts")
+
+#: Datasets the ``export`` sub-command can serialise.
+EXPORT_DATASETS = ("fig2a", "fig2b", "fig3", "fig4-grid", "fig4-power-states")
 
 
 def _workload_type(name: str) -> WorkloadType:
@@ -36,6 +50,14 @@ def _workload_type(name: str) -> WorkloadType:
     except ValueError as error:
         valid = ", ".join(member.value for member in WorkloadType)
         raise argparse.ArgumentTypeError(f"unknown workload type {name!r}; choose from: {valid}") from error
+
+
+def _power_state(name: str) -> PackageCState:
+    try:
+        return PackageCState(name.upper())
+    except ValueError as error:
+        valid = ", ".join(member.value for member in PackageCState if member is not PackageCState.C0)
+        raise argparse.ArgumentTypeError(f"unknown power state {name!r}; choose from: {valid}") from error
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,6 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--workload", type=_workload_type, default=WorkloadType.CPU_MULTI_THREAD,
         help="workload type (cpu_single_thread, cpu_multi_thread, graphics)",
     )
+    etee.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
     performance = subparsers.add_parser(
         "performance", help="suite-average performance normalised to the IVR PDN"
@@ -61,11 +84,14 @@ def build_parser() -> argparse.ArgumentParser:
     performance.add_argument(
         "--suite", choices=("spec", "3dmark"), default="spec", help="benchmark suite"
     )
+    performance.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
-    subparsers.add_parser("battery-life", help="battery-life average power per PDN")
+    battery = subparsers.add_parser("battery-life", help="battery-life average power per PDN")
+    battery.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
     cost = subparsers.add_parser("cost", help="BOM and board area normalised to the IVR PDN")
     cost.add_argument("--tdp", type=float, default=18.0)
+    cost.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
     figures = subparsers.add_parser("figures", help="regenerate every paper figure")
     figures.add_argument(
@@ -78,6 +104,47 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--tdp", type=float, default=18.0)
     predict.add_argument("--ar", type=float, default=0.56)
     predict.add_argument("--workload", type=_workload_type, default=WorkloadType.CPU_MULTI_THREAD)
+    predict.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run a declarative study grid (TDP x AR x workload x power state)",
+    )
+    sweep.add_argument(
+        "--tdps", type=float, nargs="+", required=True, metavar="W",
+        help="TDP levels of the grid, in watts",
+    )
+    sweep.add_argument(
+        "--ars", type=float, nargs="+", default=None, metavar="AR",
+        help="application ratios of the active part of the grid (default 0.56)",
+    )
+    sweep.add_argument(
+        "--workloads", type=_workload_type, nargs="+", default=None,
+        help="workload types of the active part (default cpu_multi_thread)",
+    )
+    sweep.add_argument(
+        "--power-states", type=_power_state, nargs="+", default=None,
+        help="package C-states (C0_MIN, C2, C3, C6, C7, C8); without --ars or "
+        "--workloads the grid is idle-only, with them the active rows are kept too",
+    )
+    sweep.add_argument(
+        "--pdns", nargs="+", default=None, help="restrict to these PDN architectures"
+    )
+    sweep.add_argument(
+        "--format", choices=("table", "json", "csv"), default="table",
+        help="output format (default: table)",
+    )
+    sweep.add_argument("--output", default=None, help="write to this file instead of stdout")
+
+    export = subparsers.add_parser(
+        "export", help="export a paper-figure dataset as JSON or CSV"
+    )
+    export.add_argument("dataset", choices=EXPORT_DATASETS, help="dataset to export")
+    export.add_argument(
+        "--format", choices=("json", "csv"), default="json",
+        help="output format (default: json)",
+    )
+    export.add_argument("--output", default=None, help="write to this file instead of stdout")
 
     return parser
 
@@ -85,17 +152,42 @@ def build_parser() -> argparse.ArgumentParser:
 # --------------------------------------------------------------------------- #
 # Sub-command implementations (each returns the text it prints, for testing)
 # --------------------------------------------------------------------------- #
-def run_etee(spot: PdnSpot, tdp_w: float, ar: float, workload: WorkloadType) -> str:
+def _resultset_table(resultset: ResultSet, title: str = "") -> str:
+    """Render any :class:`ResultSet` as an aligned plain-text table."""
+    rows = [
+        ["" if cell is MISSING else cell for cell in (record.get(column, MISSING) for column in resultset.columns)]
+        for record in resultset.to_records()
+    ]
+    return format_table(list(resultset.columns), rows, title=title or resultset.name)
+
+
+def run_etee(
+    spot: PdnSpot, tdp_w: float, ar: float, workload: WorkloadType, as_json: bool = False
+) -> str:
     table = spot.compare_etee(tdp_w=tdp_w, application_ratio=ar, workload_type=workload)
+    if as_json:
+        return json.dumps(
+            {
+                "tdp_w": tdp_w,
+                "application_ratio": ar,
+                "workload_type": workload.value,
+                "etee": table,
+            },
+            indent=2,
+        )
     rows = [[name, table[name]] for name in PDN_ORDER if name in table]
     return format_table(
         ["PDN", "ETEE"], rows, title=f"ETEE at {tdp_w:g} W, AR={ar:g}, {workload.value}"
     )
 
 
-def run_performance(spot: PdnSpot, tdp_w: float, suite: str) -> str:
+def run_performance(spot: PdnSpot, tdp_w: float, suite: str, as_json: bool = False) -> str:
     benchmarks = SPEC_CPU2006_BENCHMARKS if suite == "spec" else THREEDMARK06_BENCHMARKS
     table = spot.compare_performance(benchmarks, tdp_w)
+    if as_json:
+        return json.dumps(
+            {"tdp_w": tdp_w, "suite": suite, "performance_vs_baseline": table}, indent=2
+        )
     rows = [[name, table[name]] for name in PDN_ORDER if name in table]
     return format_table(
         ["PDN", "perf vs IVR"],
@@ -104,17 +196,25 @@ def run_performance(spot: PdnSpot, tdp_w: float, suite: str) -> str:
     )
 
 
-def run_battery_life(spot: PdnSpot) -> str:
+def run_battery_life(spot: PdnSpot, as_json: bool = False) -> str:
+    table = spot.compare_battery_life_power()
+    if as_json:
+        return json.dumps({"average_power_w": table}, indent=2)
     return format_mapping_table(
-        spot.compare_battery_life_power(),
+        table,
         row_key_header="workload",
         title="Battery-life average power (W)",
     )
 
 
-def run_cost(spot: PdnSpot, tdp_w: float) -> str:
+def run_cost(spot: PdnSpot, tdp_w: float, as_json: bool = False) -> str:
     bom = spot.compare_bom(tdp_w)
     area = spot.compare_board_area(tdp_w)
+    if as_json:
+        return json.dumps(
+            {"tdp_w": tdp_w, "bom_vs_baseline": bom, "board_area_vs_baseline": area},
+            indent=2,
+        )
     rows = [[name, bom[name], area[name]] for name in PDN_ORDER if name in bom]
     return format_table(
         ["PDN", "BOM vs IVR", "area vs IVR"], rows, title=f"Cost and board area at {tdp_w:g} W"
@@ -131,16 +231,32 @@ def run_figures(quick: bool) -> str:
     return "\n\n".join(sections)
 
 
-def run_predict(spot: PdnSpot, tdp_w: float, ar: float, workload: WorkloadType) -> str:
+def run_predict(
+    spot: PdnSpot, tdp_w: float, ar: float, workload: WorkloadType, as_json: bool = False
+) -> str:
     flexwatts = spot.pdn("FlexWatts")
     conditions = OperatingConditions.for_active_workload(tdp_w, ar, workload)
     telemetry = RuntimeInputEstimator.estimate_from_conditions(conditions)
     mode = flexwatts.predict_mode_from_telemetry(telemetry)
     predictor = flexwatts.predictor
+    ivr_estimate = predictor.estimate_etee(PdnMode.IVR_MODE, telemetry)
+    ldo_estimate = predictor.estimate_etee(PdnMode.LDO_MODE, telemetry)
+    if as_json:
+        return json.dumps(
+            {
+                "tdp_w": tdp_w,
+                "application_ratio": ar,
+                "workload_type": workload.value,
+                "selected_mode": mode.value,
+                "ivr_mode_etee_estimate": ivr_estimate,
+                "ldo_mode_etee_estimate": ldo_estimate,
+            },
+            indent=2,
+        )
     rows = [
         ["selected mode", mode.value],
-        ["IVR-Mode ETEE estimate", predictor.estimate_etee(PdnMode.IVR_MODE, telemetry)],
-        ["LDO-Mode ETEE estimate", predictor.estimate_etee(PdnMode.LDO_MODE, telemetry)],
+        ["IVR-Mode ETEE estimate", ivr_estimate],
+        ["LDO-Mode ETEE estimate", ldo_estimate],
     ]
     return format_table(
         ["quantity", "value"],
@@ -149,22 +265,135 @@ def run_predict(spot: PdnSpot, tdp_w: float, ar: float, workload: WorkloadType) 
     )
 
 
+def build_sweep_study(
+    tdps: Sequence[float],
+    ars: Optional[Sequence[float]] = None,
+    workloads: Optional[Sequence[WorkloadType]] = None,
+    power_states: Optional[Sequence[PackageCState]] = None,
+    pdns: Optional[Sequence[str]] = None,
+) -> Study:
+    """Assemble the CLI ``sweep`` flags into a :class:`Study`."""
+    builder = Study.builder("cli-sweep").tdps(*tdps)
+    if ars:
+        builder.application_ratios(*ars)
+    if workloads:
+        builder.workload_types(*workloads)
+    if power_states:
+        builder.power_states(*power_states)
+    if pdns:
+        builder.pdns(*pdns)
+    return builder.build()
+
+
+def _render(resultset: ResultSet, output_format: str, title: str = "") -> str:
+    if output_format == "json":
+        return resultset.to_json(indent=2)
+    if output_format == "csv":
+        return resultset.to_csv()
+    return _resultset_table(resultset, title=title)
+
+
+def run_sweep(
+    spot: PdnSpot,
+    tdps: Sequence[float],
+    ars: Optional[Sequence[float]] = None,
+    workloads: Optional[Sequence[WorkloadType]] = None,
+    power_states: Optional[Sequence[PackageCState]] = None,
+    pdns: Optional[Sequence[str]] = None,
+    output_format: str = "table",
+) -> str:
+    study = build_sweep_study(tdps, ars, workloads, power_states, pdns)
+    resultset = spot.run(study)
+    return _render(resultset, output_format, title="Study sweep")
+
+
+def export_dataset(dataset: str) -> ResultSet:
+    """Regenerate one exportable figure dataset as a :class:`ResultSet`."""
+    from repro.experiments import (
+        fig2_performance_model,
+        fig3_vr_efficiency,
+        fig4_validation,
+    )
+
+    if dataset == "fig2a":
+        return fig2_performance_model.frequency_sensitivity_resultset()
+    if dataset == "fig2b":
+        return fig2_performance_model.budget_breakdown_resultset()
+    if dataset == "fig3":
+        return fig3_vr_efficiency.vr_efficiency_resultset()
+    if dataset == "fig4-grid":
+        return fig4_validation.etee_grid_resultset()
+    if dataset == "fig4-power-states":
+        return fig4_validation.power_state_grid_resultset()
+    raise ValueError(f"unknown dataset {dataset!r}; choose from: {', '.join(EXPORT_DATASETS)}")
+
+
+def run_export(dataset: str, output_format: str = "json") -> str:
+    return _render(export_dataset(dataset), output_format)
+
+
+def _emit(text: str, output: Optional[str]) -> None:
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {output}")
+    else:
+        print(text)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as error:
+        # Model/configuration errors (unknown PDN, bad study axis, ...) are
+        # user input errors, not crashes; keep stdout clean for --json/--format.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # The downstream pipe (e.g. `repro export ... | head`) closed early;
+        # close stdout quietly so the interpreter does not traceback on flush.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+    except OSError as error:
+        print(f"error: cannot write output: {error}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "figures":
         print(run_figures(args.quick))
         return 0
+    if args.command == "export":
+        _emit(run_export(args.dataset, args.format), args.output)
+        return 0
     spot = PdnSpot()
     if args.command == "etee":
-        print(run_etee(spot, args.tdp, args.ar, args.workload))
+        print(run_etee(spot, args.tdp, args.ar, args.workload, as_json=args.json))
     elif args.command == "performance":
-        print(run_performance(spot, args.tdp, args.suite))
+        print(run_performance(spot, args.tdp, args.suite, as_json=args.json))
     elif args.command == "battery-life":
-        print(run_battery_life(spot))
+        print(run_battery_life(spot, as_json=args.json))
     elif args.command == "cost":
-        print(run_cost(spot, args.tdp))
+        print(run_cost(spot, args.tdp, as_json=args.json))
     elif args.command == "predict":
-        print(run_predict(spot, args.tdp, args.ar, args.workload))
+        print(run_predict(spot, args.tdp, args.ar, args.workload, as_json=args.json))
+    elif args.command == "sweep":
+        _emit(
+            run_sweep(
+                spot,
+                args.tdps,
+                ars=args.ars,
+                workloads=args.workloads,
+                power_states=args.power_states,
+                pdns=args.pdns,
+                output_format=args.format,
+            ),
+            args.output,
+        )
     return 0

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.analysis.reporting import format_table
+from repro.analysis.resultset import ResultSet
 from repro.perf.budget_breakdown import budget_breakdown_for_tdp, worst_case_pdn_loss
 from repro.perf.frequency_sensitivity import FrequencySensitivityModel
 from repro.util.units import watts_to_milliwatts
@@ -23,8 +24,10 @@ from repro.util.units import watts_to_milliwatts
 FIG2_TDPS_W: Sequence[float] = (4.0, 8.0, 10.0, 18.0, 25.0, 36.0, 50.0)
 
 
-def frequency_sensitivity_table(tdps_w: Sequence[float] = FIG2_TDPS_W) -> List[Dict[str, float]]:
-    """Fig. 2(a): milliwatts needed for a +1 % frequency step, per TDP."""
+def frequency_sensitivity_resultset(
+    tdps_w: Sequence[float] = FIG2_TDPS_W,
+) -> ResultSet:
+    """Fig. 2(a) as a :class:`ResultSet` (mW needed for a +1 % frequency step)."""
     model = FrequencySensitivityModel()
     records: List[Dict[str, float]] = []
     for tdp_w in tdps_w:
@@ -39,11 +42,18 @@ def frequency_sensitivity_table(tdps_w: Sequence[float] = FIG2_TDPS_W) -> List[D
                 ),
             }
         )
-    return records
+    return ResultSet.from_records(records, name="fig2a-frequency-sensitivity")
 
 
-def budget_breakdown_table(tdps_w: Sequence[float] = FIG2_TDPS_W) -> List[Dict[str, float]]:
-    """Fig. 2(b): budget breakdown fractions per TDP (worst-loss PDN)."""
+def frequency_sensitivity_table(tdps_w: Sequence[float] = FIG2_TDPS_W) -> List[Dict[str, float]]:
+    """Fig. 2(a): milliwatts needed for a +1 % frequency step, per TDP."""
+    return frequency_sensitivity_resultset(tdps_w).to_records()
+
+
+def budget_breakdown_resultset(
+    tdps_w: Sequence[float] = FIG2_TDPS_W,
+) -> ResultSet:
+    """Fig. 2(b) as a :class:`ResultSet` (budget fractions per TDP)."""
     records: List[Dict[str, float]] = []
     for tdp_w in tdps_w:
         split = budget_breakdown_for_tdp(tdp_w)
@@ -59,7 +69,12 @@ def budget_breakdown_table(tdps_w: Sequence[float] = FIG2_TDPS_W) -> List[Dict[s
                 "worst_pdn": losses["worst"],
             }
         )
-    return records
+    return ResultSet.from_records(records, name="fig2b-budget-breakdown")
+
+
+def budget_breakdown_table(tdps_w: Sequence[float] = FIG2_TDPS_W) -> List[Dict[str, float]]:
+    """Fig. 2(b): budget breakdown fractions per TDP (worst-loss PDN)."""
+    return budget_breakdown_resultset(tdps_w).to_records()
 
 
 def format_figure2a(records: List[Dict[str, float]] = None) -> str:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.analysis.reporting import format_table
+from repro.analysis.resultset import ResultSet
 from repro.vr.base import RegulatorOperatingPoint
 from repro.vr.efficiency_curves import default_board_vr
 from repro.vr.switching import VRPowerState
@@ -31,13 +32,13 @@ FIG3_POWER_STATES: Sequence[VRPowerState] = (VRPowerState.PS0, VRPowerState.PS1)
 FIG3_INPUT_VOLTAGE_V = 7.2
 
 
-def vr_efficiency_curves(
+def vr_efficiency_resultset(
     currents_a: Sequence[float] = FIG3_CURRENTS_A,
     voltages_v: Sequence[float] = FIG3_VOLTAGES_V,
     power_states: Sequence[VRPowerState] = FIG3_POWER_STATES,
     input_voltage_v: float = FIG3_INPUT_VOLTAGE_V,
-) -> List[Dict[str, float]]:
-    """Regenerate the Fig. 3 efficiency curves as flat records."""
+) -> ResultSet:
+    """Regenerate the Fig. 3 efficiency curves as a :class:`ResultSet`."""
     regulator = default_board_vr("V_IN", iccmax_a=15.0)
     records: List[Dict[str, float]] = []
     for power_state in power_states:
@@ -57,7 +58,19 @@ def vr_efficiency_curves(
                         "efficiency": regulator.efficiency(point),
                     }
                 )
-    return records
+    return ResultSet.from_records(records, name="fig3-vr-efficiency")
+
+
+def vr_efficiency_curves(
+    currents_a: Sequence[float] = FIG3_CURRENTS_A,
+    voltages_v: Sequence[float] = FIG3_VOLTAGES_V,
+    power_states: Sequence[VRPowerState] = FIG3_POWER_STATES,
+    input_voltage_v: float = FIG3_INPUT_VOLTAGE_V,
+) -> List[Dict[str, float]]:
+    """Regenerate the Fig. 3 efficiency curves as flat records."""
+    return vr_efficiency_resultset(
+        currents_a, voltages_v, power_states, input_voltage_v
+    ).to_records()
 
 
 def format_figure3(records: List[Dict[str, float]] = None) -> str:

@@ -13,10 +13,12 @@ parameter + noise reference of :class:`repro.analysis.validation`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.pdnspot import PdnSpot
 from repro.analysis.reporting import format_table
-from repro.analysis.sweep import sweep_application_ratio, sweep_power_states
+from repro.analysis.resultset import ResultSet
+from repro.analysis.study import Study, evaluate_study
 from repro.analysis.validation import ValidationHarness
 from repro.pdn.registry import build_pdn
 from repro.power.domains import WorkloadType
@@ -38,6 +40,31 @@ FIG4_WORKLOAD_TYPES: Sequence[WorkloadType] = (
 FIG4_PDNS: Sequence[str] = ("IVR", "MBVR", "LDO")
 
 
+def etee_grid_resultset(
+    tdps_w: Sequence[float] = FIG4_TDPS_W,
+    application_ratios: Sequence[float] = FIG4_ARS,
+    workload_types: Sequence[WorkloadType] = FIG4_WORKLOAD_TYPES,
+    pdn_names: Sequence[str] = FIG4_PDNS,
+    spot: Optional[PdnSpot] = None,
+) -> ResultSet:
+    """The Fig. 4(a-i) predicted-ETEE grid as a :class:`ResultSet`.
+
+    Pass a shared ``spot`` to evaluate through its memo cache (as the
+    experiment runner does); standalone calls evaluate fresh PDN instances.
+    """
+    study = (
+        Study.builder("fig4-etee-grid")
+        .workload_types(*workload_types)
+        .tdps(*tdps_w)
+        .application_ratios(*application_ratios)
+        .pdns(*pdn_names)
+        .build()
+    )
+    if spot is not None:
+        return spot.run(study)
+    return evaluate_study(study, [build_pdn(name) for name in pdn_names])
+
+
 def etee_grid(
     tdps_w: Sequence[float] = FIG4_TDPS_W,
     application_ratios: Sequence[float] = FIG4_ARS,
@@ -45,22 +72,30 @@ def etee_grid(
     pdn_names: Sequence[str] = FIG4_PDNS,
 ) -> List[Dict[str, object]]:
     """Predicted ETEE over the full Fig. 4(a-i) grid."""
-    pdns = [build_pdn(name) for name in pdn_names]
-    records: List[Dict[str, object]] = []
-    for workload_type in workload_types:
-        for tdp_w in tdps_w:
-            records.extend(
-                sweep_application_ratio(pdns, application_ratios, tdp_w, workload_type)
-            )
-    return records
+    return etee_grid_resultset(
+        tdps_w, application_ratios, workload_types, pdn_names
+    ).to_records()
+
+
+def power_state_grid_resultset(
+    tdp_w: float = 18.0,
+    pdn_names: Sequence[str] = FIG4_PDNS,
+    spot: Optional[PdnSpot] = None,
+) -> ResultSet:
+    """The Fig. 4(j) power-state grid as a :class:`ResultSet`."""
+    study = Study.over_power_states(tdp_w, name="fig4-power-states").with_pdns(
+        *pdn_names
+    )
+    if spot is not None:
+        return spot.run(study)
+    return evaluate_study(study, [build_pdn(name) for name in pdn_names])
 
 
 def power_state_grid(
     tdp_w: float = 18.0, pdn_names: Sequence[str] = FIG4_PDNS
 ) -> List[Dict[str, object]]:
     """Predicted ETEE over the Fig. 4(j) power states."""
-    pdns = [build_pdn(name) for name in pdn_names]
-    return sweep_power_states(pdns, tdp_w)
+    return power_state_grid_resultset(tdp_w, pdn_names).to_records()
 
 
 def model_accuracy(
@@ -83,10 +118,15 @@ def format_figure4(
     grid: List[Dict[str, object]] = None,
     power_states: List[Dict[str, object]] = None,
     accuracy: Dict[str, Dict[str, float]] = None,
+    spot: Optional[PdnSpot] = None,
 ) -> str:
     """Render the Fig. 4 grid, power-state panel and accuracy summary."""
-    grid = grid if grid is not None else etee_grid()
-    power_states = power_states if power_states is not None else power_state_grid()
+    grid = grid if grid is not None else etee_grid_resultset(spot=spot).to_records()
+    power_states = (
+        power_states
+        if power_states is not None
+        else power_state_grid_resultset(spot=spot).to_records()
+    )
     accuracy = accuracy if accuracy is not None else model_accuracy()
     sections = []
     grid_rows = [

@@ -17,11 +17,11 @@ The qualitative takeaways the reproduction must preserve:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.pdnspot import PdnSpot
 from repro.analysis.reporting import format_table
 from repro.pdn.base import OperatingConditions
-from repro.pdn.registry import build_pdn
 from repro.power.domains import WorkloadType
 from repro.power.parameters import default_parameters
 
@@ -51,17 +51,27 @@ def loss_breakdown(
     tdps_w: Sequence[float] = FIG5_TDPS_W,
     application_ratio: float = FIG5_APPLICATION_RATIO,
     pdn_names: Sequence[str] = FIG5_PDNS,
+    spot: Optional[PdnSpot] = None,
 ) -> List[Dict[str, float]]:
-    """Loss breakdown (fractions of supply power) per PDN per TDP."""
+    """Loss breakdown (fractions of supply power) per PDN per TDP.
+
+    Evaluations go through the (optionally shared) :class:`PdnSpot` cache, so
+    the operating points this figure shares with the Fig. 4/Fig. 8 grids are
+    not recomputed.
+    """
+    if spot is None:
+        spot = PdnSpot(
+            pdn_names=list(pdn_names),
+            baseline_name="IVR" if "IVR" in pdn_names else pdn_names[0],
+        )
     records: List[Dict[str, float]] = []
     ivr_current_by_tdp: Dict[float, float] = {}
     for pdn_name in pdn_names:
-        pdn = build_pdn(pdn_name)
         for tdp_w in tdps_w:
             conditions = OperatingConditions.for_active_workload(
                 tdp_w, application_ratio, WorkloadType.CPU_MULTI_THREAD
             )
-            evaluation = pdn.evaluate(conditions)
+            evaluation = spot.evaluate_cached(pdn_name, conditions)
             fractions = evaluation.breakdown.as_fractions_of(evaluation.supply_power_w)
             if pdn_name == "IVR":
                 ivr_current_by_tdp[tdp_w] = evaluation.chip_input_current_a
@@ -87,9 +97,11 @@ def loss_breakdown(
     return records
 
 
-def format_figure5(records: List[Dict[str, float]] = None) -> str:
+def format_figure5(
+    records: List[Dict[str, float]] = None, spot: Optional[PdnSpot] = None
+) -> str:
     """Render the Fig. 5 loss-breakdown table."""
-    records = records if records is not None else loss_breakdown()
+    records = records if records is not None else loss_breakdown(spot=spot)
     rows = [
         [
             r["pdn"],

@@ -24,10 +24,17 @@ FIG7_PDNS: Sequence[str] = ("IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts")
 
 
 def spec_performance_at_4w(
-    tdp_w: float = FIG7_TDP_W, pdn_names: Sequence[str] = FIG7_PDNS
+    tdp_w: float = FIG7_TDP_W,
+    pdn_names: Sequence[str] = FIG7_PDNS,
+    spot: PdnSpot = None,
 ) -> List[Dict[str, object]]:
-    """Per-benchmark relative performance of each PDN at ``tdp_w``."""
-    spot = PdnSpot(pdn_names=list(pdn_names))
+    """Per-benchmark relative performance of each PDN at ``tdp_w``.
+
+    Every (PDN, benchmark) point shares the cached baseline evaluation, so
+    the IVR reference is computed once per benchmark instead of once per
+    candidate PDN.
+    """
+    spot = spot if spot is not None else PdnSpot(pdn_names=list(pdn_names))
     records: List[Dict[str, object]] = []
     for benchmark in SPEC_CPU2006_BENCHMARKS:
         row: Dict[str, object] = {
@@ -51,9 +58,11 @@ def average_performance(records: List[Dict[str, object]] = None) -> Dict[str, fl
     return averages
 
 
-def format_figure7(records: List[Dict[str, object]] = None) -> str:
+def format_figure7(
+    records: List[Dict[str, object]] = None, spot: PdnSpot = None
+) -> str:
     """Render the Fig. 7 table (per benchmark plus the suite average)."""
-    records = records if records is not None else spec_performance_at_4w()
+    records = records if records is not None else spec_performance_at_4w(spot=spot)
     headers = ["benchmark", "perf. scal."] + list(FIG7_PDNS)
     rows = [
         [record["benchmark"], record["performance_scalability"]]

@@ -12,6 +12,12 @@ Headline shapes the reproduction must preserve: FlexWatts ~ +22 % (SPEC) and
 ~ +25 % (3DMark06) over IVR at 4 W; the IVR/FlexWatts advantage at high TDPs;
 8--11 % lower battery-life power than IVR; MBVR/LDO several times the BOM and
 area of IVR while FlexWatts and I+MBVR stay comparable to IVR.
+
+All panels evaluate through the shared :class:`PdnSpot` cache: the baseline
+evaluations the performance model repeats per candidate PDN and the package
+power states the four battery-life workloads share are each computed once
+(pass one ``spot`` to every panel, as :func:`format_figure8` does, to share
+the cache across panels too).
 """
 
 from __future__ import annotations

@@ -7,8 +7,9 @@ a dictionary so tests and the benchmark harness can pick individual sections.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.analysis.pdnspot import PdnSpot
 from repro.experiments import (
     fig2_performance_model,
     fig3_vr_efficiency,
@@ -19,7 +20,9 @@ from repro.experiments import (
 )
 
 
-def run_all_experiments(include_validation: bool = True) -> Dict[str, str]:
+def run_all_experiments(
+    include_validation: bool = True, spot: Optional[PdnSpot] = None
+) -> Dict[str, str]:
     """Regenerate every figure and return the formatted tables keyed by id.
 
     Parameters
@@ -27,17 +30,23 @@ def run_all_experiments(include_validation: bool = True) -> Dict[str, str]:
     include_validation:
         The Fig. 4 grid is the slowest experiment (it validates three PDNs over
         a synthetic trace population); set to ``False`` for a quick pass.
+    spot:
+        Optional shared :class:`PdnSpot`; by default one instance (and hence
+        one evaluation cache) is created here and reused by every figure that
+        evaluates PDN operating points, so grid points shared between figures
+        are computed once.
     """
+    spot = spot if spot is not None else PdnSpot()
     outputs: Dict[str, str] = {
         "fig2a": fig2_performance_model.format_figure2a(),
         "fig2b": fig2_performance_model.format_figure2b(),
         "fig3": fig3_vr_efficiency.format_figure3(),
-        "fig5": fig5_loss_breakdown.format_figure5(),
-        "fig7": fig7_spec_4w.format_figure7(),
-        "fig8": fig8_evaluation.format_figure8(),
+        "fig5": fig5_loss_breakdown.format_figure5(spot=spot),
+        "fig7": fig7_spec_4w.format_figure7(spot=spot),
+        "fig8": fig8_evaluation.format_figure8(spot=spot),
     }
     if include_validation:
-        outputs["fig4"] = fig4_validation.format_figure4()
+        outputs["fig4"] = fig4_validation.format_figure4(spot=spot)
     return outputs
 
 

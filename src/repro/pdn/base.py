@@ -204,6 +204,19 @@ class PdnEvaluation:
         return self.loss_w / self.supply_power_w
 
 
+def evaluate_pdn(
+    pdn: "PowerDeliveryNetwork", conditions: OperatingConditions
+) -> PdnEvaluation:
+    """The default (uncached) evaluation hook: call the model directly.
+
+    Collaborators that accept an injectable evaluator -- the Study engine,
+    the performance model, the battery-life workloads -- fall back to this
+    when no cached evaluator (e.g. :meth:`PdnSpot.evaluate_cached`) is wired
+    in.
+    """
+    return pdn.evaluate(conditions)
+
+
 class PowerDeliveryNetwork(abc.ABC):
     """Abstract base class of all PDN models."""
 

@@ -17,9 +17,14 @@ the IVR PDN at 100 %), which is also how Fig. 7 and Fig. 8(a)-(b) are drawn.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
-from repro.pdn.base import OperatingConditions, PowerDeliveryNetwork
+from repro.pdn.base import (
+    OperatingConditions,
+    PdnEvaluation,
+    PowerDeliveryNetwork,
+    evaluate_pdn,
+)
 from repro.perf.frequency_sensitivity import FrequencySensitivityModel
 from repro.power.budget import PowerBudgetManager
 from repro.power.domains import DomainKind, WorkloadType
@@ -54,12 +59,19 @@ class PerformanceModel:
         baseline_pdn: PowerDeliveryNetwork,
         budget_manager: Optional[PowerBudgetManager] = None,
         sensitivity: Optional[FrequencySensitivityModel] = None,
+        evaluator: Optional[
+            Callable[[PowerDeliveryNetwork, OperatingConditions], PdnEvaluation]
+        ] = None,
     ):
         self._baseline = baseline_pdn
         self._budget = budget_manager if budget_manager is not None else PowerBudgetManager()
         self._sensitivity = (
             sensitivity if sensitivity is not None else FrequencySensitivityModel()
         )
+        # The evaluation hook lets PdnSpot route every (pdn, conditions) point
+        # through its memo cache; the baseline is otherwise re-evaluated at
+        # the same conditions for every candidate PDN in a comparison.
+        self._evaluate_pdn = evaluator if evaluator is not None else evaluate_pdn
 
     @property
     def baseline_pdn(self) -> PowerDeliveryNetwork:
@@ -84,8 +96,8 @@ class PerformanceModel:
             application_ratio=benchmark.application_ratio,
             workload_type=benchmark.workload_type,
         )
-        candidate_etee = pdn.evaluate(conditions).etee
-        baseline_etee = self._baseline.evaluate(conditions).etee
+        candidate_etee = self._evaluate_pdn(pdn, conditions).etee
+        baseline_etee = self._evaluate_pdn(self._baseline, conditions).etee
         candidate_budget = self._budget.split(
             tdp_w, candidate_etee, benchmark.workload_type
         ).compute_w

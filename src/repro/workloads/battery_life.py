@@ -19,9 +19,14 @@ by the per-state ETEE (the equation in Sec. 5), which is what
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.pdn.base import OperatingConditions, PowerDeliveryNetwork
+from repro.pdn.base import (
+    OperatingConditions,
+    PdnEvaluation,
+    PowerDeliveryNetwork,
+    evaluate_pdn,
+)
 from repro.power.power_states import PackageCState
 from repro.util.errors import ConfigurationError
 from repro.util.validation import require_fraction
@@ -57,19 +62,28 @@ class BatteryLifeWorkload:
         return WorkloadTrace(name=self.name, phases=phases)
 
     def average_power_w(
-        self, pdn: PowerDeliveryNetwork, tdp_w: float = 18.0
+        self,
+        pdn: PowerDeliveryNetwork,
+        tdp_w: float = 18.0,
+        evaluate: Optional[
+            Callable[[PowerDeliveryNetwork, OperatingConditions], PdnEvaluation]
+        ] = None,
     ) -> float:
         """Residency-weighted average supply power of this workload on ``pdn``.
 
         Implements the Sec. 5 equation
         ``sum_s P_s * R_s / ETEE_s`` by evaluating the PDN in each power state.
+        The optional ``evaluate`` hook lets :class:`repro.analysis.pdnspot.PdnSpot`
+        serve the shared power states of all four workloads from its cache.
         """
+        if evaluate is None:
+            evaluate = evaluate_pdn
         average = 0.0
         for state, residency in self.residencies.items():
             if residency == 0.0:
                 continue
             conditions = OperatingConditions.for_power_state(tdp_w, state)
-            average += pdn.evaluate(conditions).supply_power_w * residency
+            average += evaluate(pdn, conditions).supply_power_w * residency
         return average
 
 

@@ -1,18 +1,25 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.analysis.pdnspot import PdnSpot
+from repro.analysis.resultset import ResultSet
 from repro.cli import (
     build_parser,
+    build_sweep_study,
     main,
     run_battery_life,
     run_cost,
     run_etee,
+    run_export,
     run_performance,
     run_predict,
+    run_sweep,
 )
 from repro.power.domains import WorkloadType
+from repro.power.power_states import PackageCState
 
 
 @pytest.fixture(scope="module")
@@ -67,6 +74,83 @@ class TestSubcommands:
         assert "ivr_mode" in high
 
 
+class TestJsonFlag:
+    def test_etee_json(self, spot):
+        payload = json.loads(run_etee(spot, 4.0, 0.56, WorkloadType.CPU_MULTI_THREAD, as_json=True))
+        assert payload["tdp_w"] == pytest.approx(4.0)
+        assert payload["etee"]["FlexWatts"] > payload["etee"]["IVR"]
+
+    def test_performance_json(self, spot):
+        payload = json.loads(run_performance(spot, 4.0, "spec", as_json=True))
+        assert payload["performance_vs_baseline"]["IVR"] == pytest.approx(1.0)
+
+    def test_battery_life_json(self, spot):
+        payload = json.loads(run_battery_life(spot, as_json=True))
+        assert "video_playback" in payload["average_power_w"]
+
+    def test_cost_json(self, spot):
+        payload = json.loads(run_cost(spot, 18.0, as_json=True))
+        assert payload["bom_vs_baseline"]["IVR"] == pytest.approx(1.0)
+
+    def test_predict_json(self, spot):
+        payload = json.loads(
+            run_predict(spot, 4.0, 0.56, WorkloadType.CPU_MULTI_THREAD, as_json=True)
+        )
+        assert payload["selected_mode"] == "ldo_mode"
+
+
+class TestSweepCommand:
+    def test_parser_accepts_sweep_axes(self):
+        args = build_parser().parse_args(
+            ["sweep", "--tdps", "4", "18", "--power-states", "C2", "c8", "--format", "csv"]
+        )
+        assert args.tdps == [4.0, 18.0]
+        assert args.power_states == [PackageCState.C2, PackageCState.C8]
+        assert args.format == "csv"
+
+    def test_invalid_power_state_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--tdps", "4", "--power-states", "C99"])
+
+    def test_build_sweep_study_grid(self):
+        study = build_sweep_study(
+            (4.0, 18.0), ars=(0.4, 0.8), power_states=(PackageCState.C8,), pdns=("IVR",)
+        )
+        # 2 TDPs x 2 ARs active + 2 TDPs x 1 state idle.
+        assert len(study.scenarios) == 6
+        assert study.pdn_names == ("IVR",)
+
+    def test_sweep_table_output(self, spot):
+        text = run_sweep(spot, (4.0,), pdns=("IVR", "FlexWatts"))
+        assert "IVR" in text and "FlexWatts" in text and "etee" in text
+
+    def test_sweep_json_round_trips(self, spot):
+        text = run_sweep(spot, (4.0,), output_format="json")
+        resultset = ResultSet.from_json(text)
+        assert len(resultset) == 5
+        assert set(resultset.unique("pdn")) == set(spot.pdns)
+
+    def test_sweep_csv_header(self, spot):
+        text = run_sweep(spot, (4.0,), output_format="csv")
+        assert text.splitlines()[0].startswith("pdn,tdp_w,")
+
+
+class TestExportCommand:
+    def test_export_fig2a_json(self):
+        payload = json.loads(run_export("fig2a"))
+        assert payload["columns"][0] == "tdp_w"
+        assert len(payload["rows"]) == 7
+
+    def test_export_fig3_csv(self):
+        lines = run_export("fig3", output_format="csv").splitlines()
+        assert lines[0] == "power_state,vout_v,iout_a,efficiency"
+        assert len(lines) == 1 + 7 * 4 * 2
+
+    def test_export_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            run_export("fig99")
+
+
 class TestMain:
     def test_main_etee_exit_code(self, capsys):
         assert main(["etee", "--tdp", "4"]) == 0
@@ -76,3 +160,24 @@ class TestMain:
     def test_main_cost(self, capsys):
         assert main(["cost", "--tdp", "25"]) == 0
         assert "BOM" in capsys.readouterr().out
+
+    def test_main_etee_json(self, capsys):
+        assert main(["etee", "--tdp", "4", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["tdp_w"] == pytest.approx(4.0)
+
+    def test_main_sweep_to_file(self, tmp_path, capsys):
+        target = tmp_path / "sweep.csv"
+        assert main(["sweep", "--tdps", "4", "--format", "csv", "--output", str(target)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert target.read_text().startswith("pdn,")
+
+    def test_main_export_stdout(self, capsys):
+        assert main(["export", "fig2b", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "fig2b-budget-breakdown"
+
+    def test_main_model_errors_go_to_stderr(self, capsys):
+        assert main(["sweep", "--tdps", "4", "--pdns", "BOGUS"]) == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""  # stdout stays clean for --format json piping
+        assert "BOGUS" in captured.err
