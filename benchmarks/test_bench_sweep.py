@@ -1,10 +1,19 @@
-"""Benchmark E-SWEEP: the pdnspot-cache study grid.
+"""Benchmark E-SWEEP: the pdnspot-cache study grid and the executor backends.
 
-Runs a full TDP x AR x power-state study through ``PdnSpot.run`` twice --
-once with the evaluation cache disabled (the seed-equivalent cost of
-regenerating the grid from scratch) and once warm -- so the cache's speedup
-is tracked in the perf trajectory alongside the figure benchmarks.
+Three benchmark groups track the sweep engine's perf trajectory:
+
+* ``sweep-grid`` -- the original TDP x AR x power-state study through
+  ``PdnSpot.run`` with the cache disabled (seed-equivalent cost) and warm
+  (the cached-grid benchmark gated by ``tools/check_bench_regression.py``).
+* ``sweep-warm-parallel`` -- the same warm grid through the thread and
+  process backends, asserting the parallel ``ResultSet`` equals serial.
+* ``sweep-cold-fig7-scale`` -- a figure-regeneration-scale grid (~4800
+  evaluation units) cold, serial versus the process backend with 4 jobs; on
+  a multi-core runner the process column should be measurably faster, and
+  the results are asserted identical either way.
 """
+
+import pytest
 
 from repro.analysis.pdnspot import PdnSpot
 from repro.analysis.study import Study
@@ -15,6 +24,16 @@ GRID_POWER_STATES = ("C0_MIN", "C2", "C8")
 
 #: rows = (TDPs x ARs active + TDPs x states idle) x 5 PDNs
 GRID_ROWS = (len(GRID_TDPS_W) * len(GRID_ARS) + len(GRID_TDPS_W) * len(GRID_POWER_STATES)) * 5
+
+#: The figure-regeneration-scale cold grid: 16 TDPs x 20 ARs x 3 workload
+#: types = 960 scenarios, 4800 evaluation units across the five PDNs.
+FIG7_SCALE_TDPS_W = tuple(4.0 + index * (46.0 / 15.0) for index in range(16))
+FIG7_SCALE_ARS = tuple(0.40 + index * 0.02 for index in range(20))
+FIG7_SCALE_WORKLOADS = ("cpu_single_thread", "cpu_multi_thread", "graphics")
+FIG7_SCALE_ROWS = len(FIG7_SCALE_TDPS_W) * len(FIG7_SCALE_ARS) * len(FIG7_SCALE_WORKLOADS) * 5
+
+#: Worker count of the parallel benchmark columns (the acceptance point).
+PARALLEL_JOBS = 4
 
 
 def _grid_study() -> Study:
@@ -27,6 +46,23 @@ def _grid_study() -> Study:
     )
 
 
+def _fig7_scale_study() -> Study:
+    return (
+        Study.builder("fig7-scale-grid")
+        .tdps(*FIG7_SCALE_TDPS_W)
+        .application_ratios(*FIG7_SCALE_ARS)
+        .workload_types(*FIG7_SCALE_WORKLOADS)
+        .build()
+    )
+
+
+@pytest.fixture(scope="module")
+def fig7_scale_reference():
+    """The serial fig7-scale ResultSet the parallel runs must reproduce."""
+    return PdnSpot().run(_fig7_scale_study())
+
+
+@pytest.mark.benchmark(group="sweep-grid")
 def test_bench_sweep_grid_uncached(benchmark):
     spot = PdnSpot(enable_cache=False)
     study = _grid_study()
@@ -35,6 +71,7 @@ def test_bench_sweep_grid_uncached(benchmark):
     assert len(resultset) == GRID_ROWS
 
 
+@pytest.mark.benchmark(group="sweep-grid")
 def test_bench_sweep_grid_cached(benchmark):
     spot = PdnSpot()
     study = _grid_study()
@@ -44,3 +81,46 @@ def test_bench_sweep_grid_cached(benchmark):
     info = spot.cache_info()
     assert info.hits > 0
     assert info.size == GRID_ROWS  # one entry per distinct (pdn, conditions)
+
+
+@pytest.mark.benchmark(group="sweep-warm-parallel")
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_bench_sweep_grid_cached_parallel(benchmark, backend):
+    """A warm grid through a parallel backend equals the serial result."""
+    spot = PdnSpot()
+    study = _grid_study()
+    serial = spot.run(study)  # warm the cache serially
+    resultset = benchmark(spot.run, study, executor=backend, jobs=PARALLEL_JOBS)
+    assert resultset == serial
+
+
+@pytest.mark.benchmark(group="sweep-cold-fig7-scale")
+def test_bench_sweep_fig7_scale_cold_serial(benchmark, fig7_scale_reference):
+    spot = PdnSpot(enable_cache=False)
+    study = _fig7_scale_study()
+    _ = spot.pdn("FlexWatts").predictor  # calibrate outside the timing
+    resultset = benchmark.pedantic(spot.run, args=(study,), rounds=1, iterations=1)
+    assert len(resultset) == FIG7_SCALE_ROWS
+    assert resultset == fig7_scale_reference
+
+
+@pytest.mark.benchmark(group="sweep-cold-fig7-scale")
+def test_bench_sweep_fig7_scale_cold_process(benchmark, fig7_scale_reference):
+    """The parallel cold run: sharded across 4 worker processes.
+
+    Worker start-up (fork plus predictor calibration) is part of the timed
+    section -- that is the real cost a user pays for ``--jobs 4`` -- so the
+    speedup over the serial column is honest; on a single-CPU runner this
+    column is expected to be slower, on multi-core CI measurably faster.
+    """
+    spot = PdnSpot(enable_cache=False)
+    study = _fig7_scale_study()
+    resultset = benchmark.pedantic(
+        spot.run,
+        args=(study,),
+        kwargs={"executor": "process", "jobs": PARALLEL_JOBS},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(resultset) == FIG7_SCALE_ROWS
+    assert resultset == fig7_scale_reference

@@ -29,6 +29,13 @@ True
 [4.0, 18.0, 50.0]
 """
 
+from repro.analysis.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
 from repro.analysis.pdnspot import CacheInfo, PdnSpot
 from repro.analysis.resultset import ResultSet
 from repro.analysis.study import Scenario, Study, StudyBuilder
@@ -49,6 +56,11 @@ __all__ = [
     "StudyBuilder",
     "Scenario",
     "ResultSet",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
     "FlexWattsPdn",
     "PdnMode",
     "OperatingConditions",

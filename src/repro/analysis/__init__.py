@@ -10,6 +10,10 @@ the multi-dimensional exploration tool the paper describes.
   :meth:`PdnSpot.evaluate_batch`).
 * :mod:`repro.analysis.study` -- the declarative :class:`Study` grid and its
   fluent :class:`StudyBuilder`.
+* :mod:`repro.analysis.executor` -- pluggable execution backends
+  (:class:`SerialExecutor`, :class:`ThreadExecutor`, :class:`ProcessExecutor`)
+  that shard a study grid, evaluate chunks concurrently and merge worker
+  results back into the :class:`PdnSpot` cache.
 * :mod:`repro.analysis.resultset` -- the columnar :class:`ResultSet` container
   with filter/pivot/normalise helpers and JSON/CSV serialisation.
 * :mod:`repro.analysis.sweep` -- legacy sweep helpers (deprecated shims over
@@ -22,6 +26,13 @@ the multi-dimensional exploration tool the paper describes.
   examples and benchmark harness.
 """
 
+from repro.analysis.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
 from repro.analysis.pdnspot import CacheInfo, PdnSpot
 from repro.analysis.resultset import MISSING, ResultSet
 from repro.analysis.study import Scenario, Study, StudyBuilder, evaluate_study
@@ -34,6 +45,11 @@ from repro.analysis.sensitivity import SensitivityAnalysis, SensitivityRecord
 __all__ = [
     "PdnSpot",
     "CacheInfo",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
     "Study",
     "StudyBuilder",
     "Scenario",

@@ -1,0 +1,419 @@
+"""Pluggable execution backends for study grids and evaluation batches.
+
+:meth:`repro.analysis.pdnspot.PdnSpot.run` and
+:meth:`~repro.analysis.pdnspot.PdnSpot.evaluate_batch` reduce every workload
+to one shape: an ordered list of *evaluation units*
+``(pdn_name, conditions, overrides)``.  An :class:`Executor` turns that list
+into evaluations:
+
+1. units already memoised by the engine's cache are served directly (and
+   counted as hits, exactly as a serial run would count them);
+2. the remaining units are **deduplicated** -- only the first occurrence of
+   each distinct cache key is computed -- and sharded into deterministic
+   contiguous chunks (:func:`shard`);
+3. the chunks are evaluated by the backend (in-process, a thread pool, or a
+   process pool with picklable work units), in whatever order they complete;
+4. every computed evaluation is **merged back** into the shared
+   :class:`~repro.analysis.pdnspot.PdnSpot` memo cache (counted as misses),
+   duplicate units are then resolved from the freshly warmed cache (counted
+   as hits), and the results are reassembled in canonical unit order.
+
+The accounting therefore matches a serial run exactly -- ``cache_info()``
+after a parallel cold run reports the same hit/miss totals -- and the
+returned list is ordered by the input units regardless of chunk completion
+order.
+
+Backends
+--------
+:class:`SerialExecutor`
+    Evaluates chunks in order on the calling thread.  The default engine path
+    (``executor=None``) is equivalent but skips the sharding machinery.
+:class:`ThreadExecutor`
+    A :class:`concurrent.futures.ThreadPoolExecutor` per call.  The PDN
+    models are pure Python, so the GIL serialises the actual math; threads
+    mainly help when evaluations are interleaved with other blocking work.
+:class:`ProcessExecutor`
+    A :class:`concurrent.futures.ProcessPoolExecutor` per call.  Work units
+    are picklable ``(slot, pdn_name, conditions, overrides)`` tuples; each
+    worker process rebuilds the evaluation engine once from a
+    :class:`WorkerConfig` recipe and streams evaluations back.  This is the
+    backend that actually parallelises the CPU-bound grid math.
+
+Example
+-------
+>>> from repro import PdnSpot, Study
+>>> spot = PdnSpot()
+>>> study = Study.over_tdps([4.0, 18.0, 50.0])
+>>> serial = spot.run(study)
+>>> parallel = spot.run(study, executor="thread", jobs=2)
+>>> serial == parallel
+True
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from abc import ABC, abstractmethod
+from concurrent import futures
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    ClassVar,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.analysis.study import OverrideKey
+from repro.pdn.base import OperatingConditions, PdnEvaluation
+from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pdnspot imports us)
+    from repro.analysis.pdnspot import PdnSpot
+    from repro.power.parameters import PdnTechnologyParameters
+
+#: One evaluation unit: which PDN, at which operating point, under which
+#: technology-parameter overrides.
+EvalUnit = Tuple[str, OperatingConditions, OverrideKey]
+
+#: A dispatchable task: an evaluation unit tagged with its result slot.
+Task = Tuple[int, str, OperatingConditions, OverrideKey]
+
+#: A completed chunk: ``(slot, evaluation)`` pairs, in any order.
+ChunkResult = List[Tuple[int, PdnEvaluation]]
+
+
+def default_jobs() -> int:
+    """The default worker count: the machine's CPU count (at least one)."""
+    return os.cpu_count() or 1
+
+
+def shard(items: Sequence[object], shards: int) -> List[List[object]]:
+    """Split ``items`` into at most ``shards`` deterministic contiguous chunks.
+
+    Chunk sizes differ by at most one and the concatenation of the chunks is
+    the input sequence, so the sharding is reproducible for a given
+    ``(items, shards)`` pair -- completion order may vary, assignment never
+    does.  Empty chunks are never produced.
+    """
+    if shards < 1:
+        raise ConfigurationError(f"shard count must be positive, got {shards}")
+    count = min(shards, len(items))
+    if count == 0:
+        return []
+    base, extra = divmod(len(items), count)
+    chunks: List[List[object]] = []
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        chunks.append(list(items[start : start + size]))
+        start += size
+    return chunks
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """A picklable recipe for rebuilding the evaluation engine in a worker.
+
+    Process-pool workers cannot share the parent's :class:`PdnSpot`; they
+    receive this config through the pool initializer and build their own
+    (uncached -- chunks are already deduplicated) engine once per process.
+    """
+
+    parameters: "PdnTechnologyParameters"
+    pdn_names: Tuple[str, ...]
+    baseline_name: str
+
+    def build_spot(self) -> "PdnSpot":
+        """Build the worker-local evaluation engine."""
+        from repro.analysis.pdnspot import PdnSpot
+
+        return PdnSpot(
+            parameters=self.parameters,
+            pdn_names=list(self.pdn_names),
+            baseline_name=self.baseline_name,
+            enable_cache=False,
+        )
+
+
+# Worker-process state, set once by :func:`_init_worker`.
+_WORKER_SPOT: Optional["PdnSpot"] = None
+
+
+def _init_worker(config: WorkerConfig) -> None:
+    """Process-pool initializer: build the worker-local engine once."""
+    global _WORKER_SPOT
+    _WORKER_SPOT = config.build_spot()
+
+
+def _evaluate_chunk(chunk: List[Task]) -> ChunkResult:
+    """Evaluate one task chunk in a worker process."""
+    if _WORKER_SPOT is None:  # pragma: no cover - initializer always runs first
+        raise ConfigurationError("worker process was not initialised")
+    return _evaluate_chunk_in_process(_WORKER_SPOT, chunk)
+
+
+class Executor(ABC):
+    """Base class of the pluggable execution backends.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count; defaults to :func:`default_jobs`.  The unit list is
+        sharded into at most this many chunks.
+    """
+
+    #: Registry name of the backend (``serial``/``thread``/``process``).
+    name: ClassVar[str] = ""
+
+    #: Whether chunks evaluate against the caller's own PDN models.  True for
+    #: the in-process backends (serial/thread), whose workers need the
+    #: caller's lazily built state primed first; process workers rebuild
+    #: their own engines, so parent-side priming would be wasted work.
+    uses_parent_models: ClassVar[bool] = True
+
+    def __init__(self, jobs: Optional[int] = None):
+        if jobs is not None and jobs < 1:
+            raise ConfigurationError(f"executor jobs must be positive, got {jobs}")
+        self._jobs = jobs
+
+    @property
+    def jobs(self) -> int:
+        """The effective worker count."""
+        return self._jobs if self._jobs is not None else default_jobs()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(jobs={self.jobs})"
+
+    # ------------------------------------------------------------------ #
+    # The shard / evaluate / merge / reassemble driver
+    # ------------------------------------------------------------------ #
+    def evaluate_units(
+        self, spot: "PdnSpot", units: Iterable[EvalUnit]
+    ) -> List[PdnEvaluation]:
+        """Evaluate ``units`` through this backend, in canonical unit order.
+
+        With the engine cache enabled, already-cached units are served
+        immediately, distinct uncached units are computed exactly once across
+        all workers, and every computed evaluation is merged back into the
+        shared cache before duplicates are resolved from it.  With the cache
+        disabled every unit is dispatched as-is (the seed-equivalent cost
+        model the benchmarks rely on).
+        """
+        unit_list = list(units)
+        if not unit_list:
+            return []
+        results: List[Optional[PdnEvaluation]] = [None] * len(unit_list)
+        if spot.cache_enabled:
+            primaries: Dict[Tuple[object, ...], int] = {}
+            duplicates: List[Tuple[int, Tuple[object, ...]]] = []
+            for slot, (name, conditions, overrides) in enumerate(unit_list):
+                key = spot.cache_key(name, conditions, overrides)
+                if key in primaries:
+                    duplicates.append((slot, key))
+                    continue
+                cached = spot.cache_lookup(key)
+                if cached is not None:
+                    results[slot] = cached
+                else:
+                    primaries[key] = slot
+            tasks: List[Task] = [(slot, *unit_list[slot]) for slot in primaries.values()]
+            chunks = shard(tasks, self.jobs)
+            if self.uses_parent_models or len(chunks) == 1:
+                # Only the dispatched units need their models primed (a fully
+                # warm batch never reaches the workers); the single-chunk case
+                # covers the process backend's in-process fallback.
+                spot.prime_for_execution(unit_list[slot] for slot in primaries.values())
+            for chunk_result in self._run_chunks(spot, chunks):
+                for slot, evaluation in chunk_result:
+                    name, conditions, overrides = unit_list[slot]
+                    key = spot.cache_key(name, conditions, overrides)
+                    results[slot] = spot.cache_install(key, evaluation)
+            for slot, key in duplicates:
+                resolved = spot.cache_lookup(key)
+                if resolved is None:  # pragma: no cover - install precedes this
+                    raise ConfigurationError(
+                        "cache merge-back lost an evaluation; this is a bug"
+                    )
+                results[slot] = resolved
+        else:
+            tasks = [(slot, *unit) for slot, unit in enumerate(unit_list)]
+            chunks = shard(tasks, self.jobs)
+            if self.uses_parent_models or len(chunks) == 1:
+                spot.prime_for_execution(unit_list)
+            for chunk_result in self._run_chunks(spot, chunks):
+                for slot, evaluation in chunk_result:
+                    results[slot] = evaluation
+        missing = [slot for slot, result in enumerate(results) if result is None]
+        if missing:  # pragma: no cover - defensive: a backend dropped work
+            raise ConfigurationError(
+                f"executor {self.name!r} returned no result for {len(missing)} units"
+            )
+        return results
+
+    @abstractmethod
+    def _run_chunks(
+        self, spot: "PdnSpot", chunks: List[List[Task]]
+    ) -> Iterator[ChunkResult]:
+        """Evaluate every chunk, yielding completed chunks in any order."""
+
+
+def _evaluate_chunk_in_process(spot: "PdnSpot", chunk: List[Task]) -> ChunkResult:
+    """Evaluate one task chunk against the caller's own engine (no cache I/O)."""
+    return [
+        (slot, spot.evaluate_uncached(name, conditions, overrides))
+        for slot, name, conditions, overrides in chunk
+    ]
+
+
+class SerialExecutor(Executor):
+    """Evaluate chunks sequentially on the calling thread.
+
+    Functionally identical to the engine's default path; useful as the
+    explicit baseline the parallel backends are checked against, and as the
+    ``--executor serial`` CLI spelling.
+    """
+
+    name = "serial"
+
+    def _run_chunks(
+        self, spot: "PdnSpot", chunks: List[List[Task]]
+    ) -> Iterator[ChunkResult]:
+        for chunk in chunks:
+            yield _evaluate_chunk_in_process(spot, chunk)
+
+
+class ThreadExecutor(Executor):
+    """Evaluate chunks on a :class:`~concurrent.futures.ThreadPoolExecutor`.
+
+    Workers share the caller's PDN models (read-only after
+    :meth:`PdnSpot.prime_for_execution`); the evaluations themselves hold the
+    GIL, so wall-clock gains are modest for this pure-Python workload -- see
+    :class:`ProcessExecutor` for actual CPU parallelism.
+    """
+
+    name = "thread"
+
+    def _run_chunks(
+        self, spot: "PdnSpot", chunks: List[List[Task]]
+    ) -> Iterator[ChunkResult]:
+        if len(chunks) <= 1:
+            for chunk in chunks:
+                yield _evaluate_chunk_in_process(spot, chunk)
+            return
+        with futures.ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+            submitted = [
+                pool.submit(_evaluate_chunk_in_process, spot, chunk)
+                for chunk in chunks
+            ]
+            for future in futures.as_completed(submitted):
+                yield future.result()
+
+
+class ProcessExecutor(Executor):
+    """Evaluate chunks on a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    Each worker process rebuilds the evaluation engine once from the
+    caller's :class:`WorkerConfig` (pool initializer), then evaluates
+    picklable task chunks; evaluations stream back to the parent, which owns
+    the cache merge.  Worker start-up (interpreter fork/spawn plus the
+    FlexWatts predictor calibration) costs tens of milliseconds per worker,
+    so this backend pays off on grids whose serial cost dwarfs that.
+    """
+
+    name = "process"
+    uses_parent_models = False
+
+    def _run_chunks(
+        self, spot: "PdnSpot", chunks: List[List[Task]]
+    ) -> Iterator[ChunkResult]:
+        if len(chunks) <= 1:
+            # One chunk cannot overlap with anything; skip the pool start-up.
+            for chunk in chunks:
+                yield _evaluate_chunk_in_process(spot, chunk)
+            return
+        config = spot.worker_config()
+        with futures.ProcessPoolExecutor(
+            max_workers=len(chunks), initializer=_init_worker, initargs=(config,)
+        ) as pool:
+            submitted = [pool.submit(_evaluate_chunk, chunk) for chunk in chunks]
+            for future in futures.as_completed(submitted):
+                yield future.result()
+
+
+#: Registry of the built-in backends, keyed by their CLI/``make_executor`` name.
+EXECUTORS: Dict[str, Callable[..., Executor]] = {
+    SerialExecutor.name: SerialExecutor,
+    ThreadExecutor.name: ThreadExecutor,
+    ProcessExecutor.name: ProcessExecutor,
+}
+
+#: What an ``executor=`` argument may be: a backend instance, a registry name,
+#: or ``None`` (engine default).
+ExecutorLike = Union[Executor, str, None]
+
+
+def make_executor(
+    executor: ExecutorLike = None, jobs: Optional[int] = None
+) -> Optional[Executor]:
+    """Resolve an ``executor=`` argument into a backend instance.
+
+    ``None`` with no ``jobs`` (or ``jobs=1``) keeps the engine's default
+    serial path; ``None`` with ``jobs > 1`` selects :class:`ProcessExecutor`
+    (the backend that parallelises this CPU-bound workload); a string is
+    looked up in :data:`EXECUTORS`; an :class:`Executor` instance is passed
+    through unchanged (``jobs`` must then be ``None`` or match).
+    """
+    if jobs is not None and jobs < 1:
+        raise ConfigurationError(f"jobs must be positive, got {jobs}")
+    if executor is None:
+        if jobs is None or jobs == 1:
+            return None
+        return ProcessExecutor(jobs=jobs)
+    if isinstance(executor, Executor):
+        if jobs is None:
+            return executor
+        if executor._jobs is None:
+            # The instance never chose a worker count; adopt the explicit one
+            # rather than comparing against the machine-dependent default.  A
+            # copy (not reconstruction) keeps subclass state intact.
+            adopted = copy.copy(executor)
+            adopted._jobs = jobs
+            return adopted
+        if jobs != executor._jobs:
+            raise ConfigurationError(
+                f"jobs={jobs} conflicts with {executor!r}; configure the "
+                "executor's jobs directly"
+            )
+        return executor
+    if isinstance(executor, str):
+        try:
+            factory = EXECUTORS[executor]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown executor {executor!r}; choose from: "
+                f"{', '.join(sorted(EXECUTORS))}"
+            ) from None
+        return factory(jobs=jobs)
+    raise ConfigurationError(
+        f"executor must be None, a name, or an Executor instance, "
+        f"got {type(executor).__name__}"
+    )
+
+
+def parallel_requested(executor: ExecutorLike = None, jobs: Optional[int] = None) -> bool:
+    """Whether ``executor`` / ``jobs`` select a parallel backend.
+
+    The one gate the figure drivers use to decide between the seed-identical
+    serial path and a parallel prewarm; it validates the arguments exactly
+    like :func:`make_executor` (so an invalid ``jobs`` raises instead of
+    silently falling back to serial).
+    """
+    return make_executor(executor, jobs=jobs) is not None

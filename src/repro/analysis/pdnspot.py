@@ -23,9 +23,11 @@ True
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.analysis.executor import EvalUnit, ExecutorLike, WorkerConfig, make_executor
 from repro.analysis.resultset import Record, ResultSet
 from repro.analysis.study import (
     OverrideKey,
@@ -134,6 +136,10 @@ class PdnSpot:
         self._cache: Dict[Tuple[object, ...], PdnEvaluation] = {}
         self._cache_hits = 0
         self._cache_misses = 0
+        # Guards the cache mapping, its hit/miss counters and the variant
+        # table: concurrent evaluate_cached calls (ThreadExecutor workers or
+        # user threads) must not lose counter updates or race dict growth.
+        self._cache_lock = threading.Lock()
         #: Parameter-override PDN variants, keyed by (overrides, pdn name).
         self._variants: Dict[Tuple[OverrideKey, str], PowerDeliveryNetwork] = {}
 
@@ -161,17 +167,56 @@ class PdnSpot:
     # ------------------------------------------------------------------ #
     # Cached evaluation engine
     # ------------------------------------------------------------------ #
+    @property
+    def cache_enabled(self) -> bool:
+        """Whether evaluations are memoised (fixed at construction)."""
+        return self._cache_enabled
+
     def cache_info(self) -> CacheInfo:
         """Hit/miss statistics of the evaluation cache."""
-        return CacheInfo(
-            hits=self._cache_hits, misses=self._cache_misses, size=len(self._cache)
-        )
+        with self._cache_lock:
+            return CacheInfo(
+                hits=self._cache_hits, misses=self._cache_misses, size=len(self._cache)
+            )
 
     def clear_cache(self) -> None:
         """Drop every memoised evaluation (statistics reset too)."""
-        self._cache.clear()
-        self._cache_hits = 0
-        self._cache_misses = 0
+        with self._cache_lock:
+            self._cache.clear()
+            self._cache_hits = 0
+            self._cache_misses = 0
+
+    def cache_key(
+        self,
+        pdn_name: str,
+        conditions: OperatingConditions,
+        overrides: OverrideKey = (),
+    ) -> Tuple[object, ...]:
+        """The memo-cache key of one evaluation unit."""
+        return (overrides, pdn_name, _conditions_key(conditions))
+
+    def cache_lookup(self, key: Tuple[object, ...]) -> Optional[PdnEvaluation]:
+        """A caller-owned copy of a cached evaluation (counted as a hit)."""
+        with self._cache_lock:
+            cached = self._cache.get(key)
+            if cached is None:
+                return None
+            self._cache_hits += 1
+            return _copy_evaluation(cached)
+
+    def cache_install(
+        self, key: Tuple[object, ...], evaluation: PdnEvaluation
+    ) -> PdnEvaluation:
+        """Merge one computed evaluation into the cache (counted as a miss).
+
+        This is the merge-back half of parallel execution: worker-computed
+        evaluations become shared cache masters, and the caller gets the same
+        caller-owned copy a serial miss would have produced.
+        """
+        with self._cache_lock:
+            self._cache_misses += 1
+            self._cache[key] = evaluation
+            return _copy_evaluation(evaluation)
 
     def _variant_pdn(self, name: str, overrides: OverrideKey) -> PowerDeliveryNetwork:
         """The PDN instance for one parameter-override set (built once)."""
@@ -179,10 +224,29 @@ class PdnSpot:
             return self.pdn(name)
         self.pdn(name)  # validate the name against the instantiated set
         key = (overrides, name)
-        if key not in self._variants:
-            parameters = self.parameters.with_overrides(**dict(overrides))
-            self._variants[key] = build_pdn(name, parameters)
-        return self._variants[key]
+        with self._cache_lock:
+            variant = self._variants.get(key)
+        if variant is not None:
+            return variant
+        parameters = self.parameters.with_overrides(**dict(overrides))
+        variant = build_pdn(name, parameters)
+        with self._cache_lock:
+            # Two racing builders produce equivalent models; first one wins.
+            return self._variants.setdefault(key, variant)
+
+    def evaluate_uncached(
+        self,
+        pdn_name: str,
+        conditions: OperatingConditions,
+        overrides: OverrideKey = (),
+    ) -> PdnEvaluation:
+        """Evaluate one PDN at one operating point, bypassing the memo cache.
+
+        This is the raw model evaluation executor workers run; the driver owns
+        the cache interaction (:meth:`cache_lookup` / :meth:`cache_install`),
+        so neither the mapping nor the counters are touched here.
+        """
+        return self._variant_pdn(pdn_name, overrides).evaluate(conditions)
 
     def evaluate_cached(
         self,
@@ -192,16 +256,40 @@ class PdnSpot:
     ) -> PdnEvaluation:
         """Evaluate one PDN at one operating point through the memo cache."""
         if not self._cache_enabled:
-            return self._variant_pdn(pdn_name, overrides).evaluate(conditions)
-        key = (overrides, pdn_name, _conditions_key(conditions))
-        cached = self._cache.get(key)
+            return self.evaluate_uncached(pdn_name, conditions, overrides)
+        key = self.cache_key(pdn_name, conditions, overrides)
+        cached = self.cache_lookup(key)
         if cached is not None:
-            self._cache_hits += 1
-            return _copy_evaluation(cached)
-        self._cache_misses += 1
-        evaluation = self._variant_pdn(pdn_name, overrides).evaluate(conditions)
-        self._cache[key] = evaluation
-        return _copy_evaluation(evaluation)
+            return cached
+        evaluation = self.evaluate_uncached(pdn_name, conditions, overrides)
+        return self.cache_install(key, evaluation)
+
+    def worker_config(self) -> WorkerConfig:
+        """The picklable recipe process-pool workers rebuild this engine from."""
+        return WorkerConfig(
+            parameters=self.parameters,
+            pdn_names=tuple(self._pdns),
+            baseline_name=self._baseline_name,
+        )
+
+    def prime_for_execution(self, units: Iterable[EvalUnit]) -> None:
+        """Build every model (and lazy predictor) the units need, up front.
+
+        Thread-pool workers treat the PDN models as read-only; the two pieces
+        of lazily built state -- parameter-override variants and the FlexWatts
+        Algorithm-1 predictor calibration -- are forced here, on the calling
+        thread, before any worker runs.
+        """
+        seen = set()
+        for name, _, overrides in units:
+            key = (overrides, name)
+            if key in seen:
+                continue
+            seen.add(key)
+            pdn = self._variant_pdn(name, overrides)
+            # Touching .predictor forces the lazy Algorithm-1 calibration on
+            # hybrid PDNs; static PDNs have no such attribute.
+            getattr(pdn, "predictor", None)
 
     def _evaluate_instance(
         self, pdn: PowerDeliveryNetwork, conditions: OperatingConditions
@@ -211,17 +299,53 @@ class PdnSpot:
             return self.evaluate_cached(pdn.name, conditions)
         return pdn.evaluate(conditions)
 
+    def evaluate_units(
+        self,
+        units: Iterable[EvalUnit],
+        executor: ExecutorLike = None,
+        jobs: Optional[int] = None,
+    ) -> List[PdnEvaluation]:
+        """Evaluate ``(pdn_name, conditions, overrides)`` units, in order.
+
+        With the default ``executor=None`` (and ``jobs`` unset or 1) the units
+        are evaluated serially through :meth:`evaluate_cached` -- the seed
+        behaviour, bit-identical results and cache accounting.  Otherwise the
+        resolved :class:`~repro.analysis.executor.Executor` shards the units,
+        evaluates chunks concurrently, merges worker results back into this
+        engine's cache and returns the evaluations in canonical unit order.
+        """
+        backend = make_executor(executor, jobs=jobs)
+        if backend is None:
+            return [
+                self.evaluate_cached(name, conditions, overrides)
+                for name, conditions, overrides in units
+            ]
+        return backend.evaluate_units(self, units)
+
     def evaluate_batch(
-        self, points: Iterable[Tuple[str, OperatingConditions]]
+        self,
+        points: Iterable[Tuple[str, OperatingConditions]],
+        executor: ExecutorLike = None,
+        jobs: Optional[int] = None,
     ) -> List[PdnEvaluation]:
         """Evaluate many ``(pdn_name, conditions)`` points through the cache.
 
         Duplicate points -- which dominate figure-regeneration grids -- are
-        computed once and served from the cache afterwards.
+        computed once and served from the cache afterwards.  ``executor`` /
+        ``jobs`` select a parallel backend exactly as in :meth:`run`.
         """
-        return [self.evaluate_cached(name, conditions) for name, conditions in points]
+        return self.evaluate_units(
+            ((name, conditions, ()) for name, conditions in points),
+            executor=executor,
+            jobs=jobs,
+        )
 
-    def run(self, study: Study) -> ResultSet:
+    def run(
+        self,
+        study: Study,
+        executor: ExecutorLike = None,
+        jobs: Optional[int] = None,
+    ) -> ResultSet:
         """Execute a declarative :class:`Study` and return its results.
 
         Scenarios are evaluated in grid order against every instantiated PDN
@@ -229,22 +353,37 @@ class PdnSpot:
         scenarios evaluate against variant models built from
         ``self.parameters.with_overrides(...)``.  All evaluations go through
         the memo cache, so overlapping studies share work.
+
+        Parameters
+        ----------
+        study:
+            The scenario grid to evaluate.
+        executor:
+            ``None`` (serial, the default), a backend name (``"serial"``,
+            ``"thread"``, ``"process"``) or an
+            :class:`~repro.analysis.executor.Executor` instance.  Parallel
+            backends shard the grid, evaluate chunks concurrently, merge the
+            evaluations back into this engine's cache, and reassemble the
+            result set in canonical grid order -- the returned
+            :class:`ResultSet` is identical to the serial one.
+        jobs:
+            Worker count for the parallel backends; ``jobs > 1`` with
+            ``executor=None`` selects the process backend.
         """
         names = study.pdn_names if study.pdn_names is not None else tuple(self._pdns)
         for name in names:
             self.pdn(name)  # fail fast on unknown PDNs
-        records: List[Record] = []
+        units: List[EvalUnit] = []
         for scenario in study.scenarios:
             conditions = scenario.conditions()
-            records.extend(
-                scenario_records(
-                    scenario,
-                    (
-                        (name, self.evaluate_cached(name, conditions, scenario.overrides))
-                        for name in names
-                    ),
-                )
-            )
+            units.extend((name, conditions, scenario.overrides) for name in names)
+        evaluations = self.evaluate_units(units, executor=executor, jobs=jobs)
+        records: List[Record] = []
+        cursor = 0
+        for scenario in study.scenarios:
+            paired = list(zip(names, evaluations[cursor : cursor + len(names)]))
+            cursor += len(names)
+            records.extend(scenario_records(scenario, paired))
         return ResultSet.from_records(records, name=study.name)
 
     # ------------------------------------------------------------------ #

@@ -20,7 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.pdn.base import OperatingConditions, PowerDeliveryNetwork
+from repro.pdn.base import OperatingConditions
 from repro.pdn.registry import build_pdn
 from repro.power.domains import WorkloadType
 from repro.power.parameters import PdnTechnologyParameters, default_parameters

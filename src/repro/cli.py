@@ -9,13 +9,16 @@ The CLI exposes the most common analyses without writing any Python::
     python -m repro figures --quick
     python -m repro predict --tdp 50 --ar 0.6 --workload graphics
     python -m repro sweep --tdps 4 18 50 --ars 0.4 0.56 --format csv
+    python -m repro sweep --tdps 4 18 50 --ars 0.4 0.56 --jobs 4
     python -m repro export fig3 --format json --output fig3.json
 
 Every sub-command prints a plain-text table by default (no plotting
 dependency); ``--json`` (and ``--format json|csv`` on ``sweep``/``export``)
 emits the underlying data for scripting.  The ``sweep`` command builds a
 declarative :class:`~repro.analysis.study.Study` from its axis flags and runs
-it through the cached :meth:`PdnSpot.run` engine.
+it through the cached :meth:`PdnSpot.run` engine; ``--jobs N`` /
+``--executor {serial,thread,process}`` (also on ``export`` and ``figures``)
+evaluate the grid through a parallel backend with identical results.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ import json
 import sys
 from typing import Optional, Sequence
 
+from repro.analysis.executor import EXECUTORS, ExecutorLike
 from repro.analysis.pdnspot import PdnSpot
 from repro.analysis.reporting import format_mapping_table, format_table
 from repro.analysis.resultset import MISSING, ResultSet
@@ -58,6 +62,20 @@ def _power_state(name: str) -> PackageCState:
     except ValueError as error:
         valid = ", ".join(member.value for member in PackageCState if member is not PackageCState.C0)
         raise argparse.ArgumentTypeError(f"unknown power state {name!r}; choose from: {valid}") from error
+
+
+def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the parallel-execution flags shared by the grid commands."""
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker count for parallel evaluation (default: serial; "
+        "--jobs N without --executor selects the process backend)",
+    )
+    parser.add_argument(
+        "--executor", choices=sorted(EXECUTORS), default=None,
+        help="execution backend (serial, thread, process); results are "
+        "identical to serial, only the evaluation schedule changes",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -97,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument(
         "--quick", action="store_true", help="skip the (slow) Fig. 4 validation grid"
     )
+    _add_executor_flags(figures)
 
     predict = subparsers.add_parser(
         "predict", help="show the FlexWatts mode Algorithm 1 selects for an operating point"
@@ -135,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default: table)",
     )
     sweep.add_argument("--output", default=None, help="write to this file instead of stdout")
+    _add_executor_flags(sweep)
 
     export = subparsers.add_parser(
         "export", help="export a paper-figure dataset as JSON or CSV"
@@ -145,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default: json)",
     )
     export.add_argument("--output", default=None, help="write to this file instead of stdout")
+    _add_executor_flags(export)
 
     return parser
 
@@ -221,10 +242,14 @@ def run_cost(spot: PdnSpot, tdp_w: float, as_json: bool = False) -> str:
     )
 
 
-def run_figures(quick: bool) -> str:
+def run_figures(
+    quick: bool, executor: ExecutorLike = None, jobs: Optional[int] = None
+) -> str:
     from repro.experiments.runner import run_all_experiments
 
-    outputs = run_all_experiments(include_validation=not quick)
+    outputs = run_all_experiments(
+        include_validation=not quick, executor=executor, jobs=jobs
+    )
     sections = []
     for key in sorted(outputs):
         sections.append(f"===== {key} =====\n{outputs[key]}")
@@ -301,14 +326,22 @@ def run_sweep(
     power_states: Optional[Sequence[PackageCState]] = None,
     pdns: Optional[Sequence[str]] = None,
     output_format: str = "table",
+    executor: ExecutorLike = None,
+    jobs: Optional[int] = None,
 ) -> str:
     study = build_sweep_study(tdps, ars, workloads, power_states, pdns)
-    resultset = spot.run(study)
+    resultset = spot.run(study, executor=executor, jobs=jobs)
     return _render(resultset, output_format, title="Study sweep")
 
 
-def export_dataset(dataset: str) -> ResultSet:
-    """Regenerate one exportable figure dataset as a :class:`ResultSet`."""
+def export_dataset(
+    dataset: str, executor: ExecutorLike = None, jobs: Optional[int] = None
+) -> ResultSet:
+    """Regenerate one exportable figure dataset as a :class:`ResultSet`.
+
+    ``executor`` / ``jobs`` parallelise the grid-backed datasets (the Fig. 4
+    grids); the small closed-form datasets (Fig. 2/3) ignore them.
+    """
     from repro.experiments import (
         fig2_performance_model,
         fig3_vr_efficiency,
@@ -322,14 +355,19 @@ def export_dataset(dataset: str) -> ResultSet:
     if dataset == "fig3":
         return fig3_vr_efficiency.vr_efficiency_resultset()
     if dataset == "fig4-grid":
-        return fig4_validation.etee_grid_resultset()
+        return fig4_validation.etee_grid_resultset(executor=executor, jobs=jobs)
     if dataset == "fig4-power-states":
-        return fig4_validation.power_state_grid_resultset()
+        return fig4_validation.power_state_grid_resultset(executor=executor, jobs=jobs)
     raise ValueError(f"unknown dataset {dataset!r}; choose from: {', '.join(EXPORT_DATASETS)}")
 
 
-def run_export(dataset: str, output_format: str = "json") -> str:
-    return _render(export_dataset(dataset), output_format)
+def run_export(
+    dataset: str,
+    output_format: str = "json",
+    executor: ExecutorLike = None,
+    jobs: Optional[int] = None,
+) -> str:
+    return _render(export_dataset(dataset, executor=executor, jobs=jobs), output_format)
 
 
 def _emit(text: str, output: Optional[str]) -> None:
@@ -367,10 +405,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "figures":
-        print(run_figures(args.quick))
+        print(run_figures(args.quick, executor=args.executor, jobs=args.jobs))
         return 0
     if args.command == "export":
-        _emit(run_export(args.dataset, args.format), args.output)
+        _emit(
+            run_export(
+                args.dataset, args.format, executor=args.executor, jobs=args.jobs
+            ),
+            args.output,
+        )
         return 0
     spot = PdnSpot()
     if args.command == "etee":
@@ -393,6 +436,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                 power_states=args.power_states,
                 pdns=args.pdns,
                 output_format=args.format,
+                executor=args.executor,
+                jobs=args.jobs,
             ),
             args.output,
         )

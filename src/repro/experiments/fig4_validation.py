@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.executor import ExecutorLike, parallel_requested
 from repro.analysis.pdnspot import PdnSpot
 from repro.analysis.reporting import format_table
 from repro.analysis.resultset import ResultSet
@@ -46,11 +47,15 @@ def etee_grid_resultset(
     workload_types: Sequence[WorkloadType] = FIG4_WORKLOAD_TYPES,
     pdn_names: Sequence[str] = FIG4_PDNS,
     spot: Optional[PdnSpot] = None,
+    executor: ExecutorLike = None,
+    jobs: Optional[int] = None,
 ) -> ResultSet:
     """The Fig. 4(a-i) predicted-ETEE grid as a :class:`ResultSet`.
 
     Pass a shared ``spot`` to evaluate through its memo cache (as the
     experiment runner does); standalone calls evaluate fresh PDN instances.
+    ``executor`` / ``jobs`` select a parallel backend; this is the largest
+    per-figure grid, so it is the first to benefit from ``--jobs``.
     """
     study = (
         Study.builder("fig4-etee-grid")
@@ -60,8 +65,10 @@ def etee_grid_resultset(
         .pdns(*pdn_names)
         .build()
     )
+    if spot is None and parallel_requested(executor, jobs):
+        spot = PdnSpot(pdn_names=list(pdn_names))
     if spot is not None:
-        return spot.run(study)
+        return spot.run(study, executor=executor, jobs=jobs)
     return evaluate_study(study, [build_pdn(name) for name in pdn_names])
 
 
@@ -81,13 +88,17 @@ def power_state_grid_resultset(
     tdp_w: float = 18.0,
     pdn_names: Sequence[str] = FIG4_PDNS,
     spot: Optional[PdnSpot] = None,
+    executor: ExecutorLike = None,
+    jobs: Optional[int] = None,
 ) -> ResultSet:
     """The Fig. 4(j) power-state grid as a :class:`ResultSet`."""
     study = Study.over_power_states(tdp_w, name="fig4-power-states").with_pdns(
         *pdn_names
     )
+    if spot is None and parallel_requested(executor, jobs):
+        spot = PdnSpot(pdn_names=list(pdn_names))
     if spot is not None:
-        return spot.run(study)
+        return spot.run(study, executor=executor, jobs=jobs)
     return evaluate_study(study, [build_pdn(name) for name in pdn_names])
 
 
@@ -119,13 +130,21 @@ def format_figure4(
     power_states: List[Dict[str, object]] = None,
     accuracy: Dict[str, Dict[str, float]] = None,
     spot: Optional[PdnSpot] = None,
+    executor: ExecutorLike = None,
+    jobs: Optional[int] = None,
 ) -> str:
     """Render the Fig. 4 grid, power-state panel and accuracy summary."""
-    grid = grid if grid is not None else etee_grid_resultset(spot=spot).to_records()
+    grid = (
+        grid
+        if grid is not None
+        else etee_grid_resultset(spot=spot, executor=executor, jobs=jobs).to_records()
+    )
     power_states = (
         power_states
         if power_states is not None
-        else power_state_grid_resultset(spot=spot).to_records()
+        else power_state_grid_resultset(
+            spot=spot, executor=executor, jobs=jobs
+        ).to_records()
     )
     accuracy = accuracy if accuracy is not None else model_accuracy()
     sections = []

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.executor import ExecutorLike, parallel_requested
 from repro.analysis.pdnspot import PdnSpot
 from repro.analysis.reporting import format_table
 from repro.pdn.base import OperatingConditions
@@ -52,17 +53,36 @@ def loss_breakdown(
     application_ratio: float = FIG5_APPLICATION_RATIO,
     pdn_names: Sequence[str] = FIG5_PDNS,
     spot: Optional[PdnSpot] = None,
+    executor: ExecutorLike = None,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Loss breakdown (fractions of supply power) per PDN per TDP.
 
     Evaluations go through the (optionally shared) :class:`PdnSpot` cache, so
     the operating points this figure shares with the Fig. 4/Fig. 8 grids are
-    not recomputed.
+    not recomputed.  With a parallel ``executor`` the distinct operating
+    points are pre-evaluated as one batch; the breakdown loop below then runs
+    entirely on cache hits.
     """
     if spot is None:
         spot = PdnSpot(
             pdn_names=list(pdn_names),
             baseline_name="IVR" if "IVR" in pdn_names else pdn_names[0],
+        )
+    if parallel_requested(executor, jobs):
+        spot.evaluate_batch(
+            (
+                (
+                    pdn_name,
+                    OperatingConditions.for_active_workload(
+                        tdp_w, application_ratio, WorkloadType.CPU_MULTI_THREAD
+                    ),
+                )
+                for pdn_name in pdn_names
+                for tdp_w in tdps_w
+            ),
+            executor=executor,
+            jobs=jobs,
         )
     records: List[Dict[str, float]] = []
     ivr_current_by_tdp: Dict[float, float] = {}
@@ -98,10 +118,17 @@ def loss_breakdown(
 
 
 def format_figure5(
-    records: List[Dict[str, float]] = None, spot: Optional[PdnSpot] = None
+    records: List[Dict[str, float]] = None,
+    spot: Optional[PdnSpot] = None,
+    executor: ExecutorLike = None,
+    jobs: Optional[int] = None,
 ) -> str:
     """Render the Fig. 5 loss-breakdown table."""
-    records = records if records is not None else loss_breakdown(spot=spot)
+    records = (
+        records
+        if records is not None
+        else loss_breakdown(spot=spot, executor=executor, jobs=jobs)
+    )
     rows = [
         [
             r["pdn"],

@@ -10,10 +10,12 @@ by ~6 %.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.executor import ExecutorLike, parallel_requested
 from repro.analysis.pdnspot import PdnSpot
 from repro.analysis.reporting import format_table
+from repro.pdn.base import OperatingConditions
 from repro.workloads.spec_cpu2006 import SPEC_CPU2006_BENCHMARKS
 
 #: The TDP of the Fig. 7 evaluation.
@@ -27,14 +29,33 @@ def spec_performance_at_4w(
     tdp_w: float = FIG7_TDP_W,
     pdn_names: Sequence[str] = FIG7_PDNS,
     spot: PdnSpot = None,
+    executor: ExecutorLike = None,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Per-benchmark relative performance of each PDN at ``tdp_w``.
 
     Every (PDN, benchmark) point shares the cached baseline evaluation, so
     the IVR reference is computed once per benchmark instead of once per
-    candidate PDN.
+    candidate PDN.  With a parallel ``executor`` the distinct (PDN, operating
+    point) pairs behind the performance model are pre-evaluated as one batch,
+    and the per-benchmark loop below runs on cache hits.
     """
     spot = spot if spot is not None else PdnSpot(pdn_names=list(pdn_names))
+    if parallel_requested(executor, jobs):
+        spot.evaluate_batch(
+            (
+                (
+                    pdn_name,
+                    OperatingConditions.for_active_workload(
+                        tdp_w, benchmark.application_ratio, benchmark.workload_type
+                    ),
+                )
+                for benchmark in SPEC_CPU2006_BENCHMARKS
+                for pdn_name in pdn_names
+            ),
+            executor=executor,
+            jobs=jobs,
+        )
     records: List[Dict[str, object]] = []
     for benchmark in SPEC_CPU2006_BENCHMARKS:
         row: Dict[str, object] = {
@@ -59,10 +80,17 @@ def average_performance(records: List[Dict[str, object]] = None) -> Dict[str, fl
 
 
 def format_figure7(
-    records: List[Dict[str, object]] = None, spot: PdnSpot = None
+    records: List[Dict[str, object]] = None,
+    spot: PdnSpot = None,
+    executor: ExecutorLike = None,
+    jobs: Optional[int] = None,
 ) -> str:
     """Render the Fig. 7 table (per benchmark plus the suite average)."""
-    records = records if records is not None else spec_performance_at_4w(spot=spot)
+    records = (
+        records
+        if records is not None
+        else spec_performance_at_4w(spot=spot, executor=executor, jobs=jobs)
+    )
     headers = ["benchmark", "perf. scal."] + list(FIG7_PDNS)
     rows = [
         [record["benchmark"], record["performance_scalability"]]

@@ -22,11 +22,14 @@ the cache across panels too).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.comparison import normalised_metric_table
+from repro.analysis.executor import ExecutorLike, parallel_requested
 from repro.analysis.pdnspot import PdnSpot
 from repro.analysis.reporting import format_mapping_table, format_table
+from repro.pdn.base import OperatingConditions
+from repro.workloads.battery_life import BATTERY_LIFE_WORKLOADS
 from repro.workloads.graphics import THREEDMARK06_BENCHMARKS
 from repro.workloads.spec_cpu2006 import SPEC_CPU2006_BENCHMARKS
 
@@ -39,6 +42,37 @@ FIG8_PDNS: Sequence[str] = ("IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts")
 
 def _spot(pdn_names: Sequence[str] = FIG8_PDNS) -> PdnSpot:
     return PdnSpot(pdn_names=list(pdn_names))
+
+
+def prewarm_figure8(
+    spot: PdnSpot,
+    tdps_w: Sequence[float] = FIG8_TDPS_W,
+    battery_tdp_w: float = 18.0,
+    executor: ExecutorLike = None,
+    jobs: Optional[int] = None,
+) -> None:
+    """Pre-evaluate every PDN operating point behind the Fig. 8 panels.
+
+    Fig. 8 iterates over per-benchmark, per-TDP and per-power-state points
+    through the performance model and the battery-life workloads; the set of
+    *distinct* underlying evaluations is assembled here and dispatched as one
+    (parallelisable) batch, so the panel loops afterwards run on cache hits.
+    """
+    points: List[Tuple[str, OperatingConditions]] = []
+    names = tuple(spot.pdns)
+    for benchmark in (*SPEC_CPU2006_BENCHMARKS, *THREEDMARK06_BENCHMARKS):
+        for tdp_w in tdps_w:
+            conditions = OperatingConditions.for_active_workload(
+                tdp_w, benchmark.application_ratio, benchmark.workload_type
+            )
+            points.extend((name, conditions) for name in names)
+    for workload in BATTERY_LIFE_WORKLOADS:
+        for state, residency in workload.residencies.items():
+            if residency == 0.0:
+                continue
+            conditions = OperatingConditions.for_power_state(battery_tdp_w, state)
+            points.extend((name, conditions) for name in names)
+    spot.evaluate_batch(points, executor=executor, jobs=jobs)
 
 
 def spec_performance_sweep(
@@ -111,9 +145,20 @@ def _format_sweep(records: List[Dict[str, object]], title: str) -> str:
     return format_table(headers, rows, title=title)
 
 
-def format_figure8(spot: PdnSpot = None) -> str:
-    """Render all five Fig. 8 panels."""
+def format_figure8(
+    spot: PdnSpot = None,
+    executor: ExecutorLike = None,
+    jobs: Optional[int] = None,
+) -> str:
+    """Render all five Fig. 8 panels.
+
+    With a parallel ``executor`` the distinct operating points behind all
+    five panels are evaluated as one sharded batch first (see
+    :func:`prewarm_figure8`); the panel construction then runs on cache hits.
+    """
     spot = spot if spot is not None else _spot()
+    if parallel_requested(executor, jobs):
+        prewarm_figure8(spot, executor=executor, jobs=jobs)
     sections = [
         _format_sweep(
             spec_performance_sweep(spot=spot),

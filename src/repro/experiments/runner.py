@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.analysis.executor import ExecutorLike
 from repro.analysis.pdnspot import PdnSpot
 from repro.experiments import (
     fig2_performance_model,
@@ -21,7 +22,10 @@ from repro.experiments import (
 
 
 def run_all_experiments(
-    include_validation: bool = True, spot: Optional[PdnSpot] = None
+    include_validation: bool = True,
+    spot: Optional[PdnSpot] = None,
+    executor: ExecutorLike = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, str]:
     """Regenerate every figure and return the formatted tables keyed by id.
 
@@ -35,18 +39,25 @@ def run_all_experiments(
         one evaluation cache) is created here and reused by every figure that
         evaluates PDN operating points, so grid points shared between figures
         are computed once.
+    executor / jobs:
+        Optional parallel execution backend (see
+        :mod:`repro.analysis.executor`), forwarded to every figure driver
+        that evaluates PDN grids; the figure *outputs* are identical either
+        way, only the evaluation schedule changes.
     """
     spot = spot if spot is not None else PdnSpot()
     outputs: Dict[str, str] = {
         "fig2a": fig2_performance_model.format_figure2a(),
         "fig2b": fig2_performance_model.format_figure2b(),
         "fig3": fig3_vr_efficiency.format_figure3(),
-        "fig5": fig5_loss_breakdown.format_figure5(spot=spot),
-        "fig7": fig7_spec_4w.format_figure7(spot=spot),
-        "fig8": fig8_evaluation.format_figure8(spot=spot),
+        "fig5": fig5_loss_breakdown.format_figure5(spot=spot, executor=executor, jobs=jobs),
+        "fig7": fig7_spec_4w.format_figure7(spot=spot, executor=executor, jobs=jobs),
+        "fig8": fig8_evaluation.format_figure8(spot=spot, executor=executor, jobs=jobs),
     }
     if include_validation:
-        outputs["fig4"] = fig4_validation.format_figure4(spot=spot)
+        outputs["fig4"] = fig4_validation.format_figure4(
+            spot=spot, executor=executor, jobs=jobs
+        )
     return outputs
 
 

@@ -27,7 +27,6 @@ from repro.pdn.common import apply_guardbands, guardband_loss_w
 from repro.pdn.losses import LossBreakdown
 from repro.power.domains import COMPUTE_DOMAINS, DomainKind
 from repro.power.parameters import PdnTechnologyParameters
-from repro.soc.dvfs import compute_voltage_for_tdp
 from repro.util.validation import require_positive
 from repro.vr.base import RegulatorOperatingPoint
 from repro.vr.efficiency_curves import default_input_vr, default_ivr

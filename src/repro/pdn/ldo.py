@@ -18,7 +18,7 @@ high TDP (Observation 1).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.pdn.base import (
     OperatingConditions,
@@ -33,7 +33,6 @@ from repro.pdn.common import (
     evaluate_board_rail,
     group_power_w,
     group_voltage_v,
-    guardband_loss_w,
 )
 from repro.pdn.losses import LossBreakdown
 from repro.power.domains import COMPUTE_DOMAINS, DomainKind, WorkloadType

@@ -35,7 +35,7 @@ from repro.pdn.common import (
 from repro.pdn.losses import LossBreakdown
 from repro.power.domains import DomainKind
 from repro.power.parameters import PdnTechnologyParameters
-from repro.soc.dvfs import GFX_VF_CURVE, compute_voltage_for_tdp, gfx_voltage_for_tdp
+from repro.soc.dvfs import compute_voltage_for_tdp, gfx_voltage_for_tdp
 from repro.power.domains import WorkloadType
 from repro.util.validation import require_positive
 from repro.vr.load_line import LoadLine

@@ -17,7 +17,7 @@ paper relies on, and which this model provides, are:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.power.domains import DomainKind, WorkloadType

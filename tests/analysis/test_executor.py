@@ -1,0 +1,306 @@
+"""Executor semantics: identical results, deterministic order, cache merge.
+
+The parallel backends must be *invisible* in every observable except wall
+clock: the same :class:`Study` produces the same :class:`ResultSet` through
+every backend, chunk completion order must not leak into row order, and the
+shared :class:`PdnSpot` cache must end a parallel run exactly as warm -- with
+exactly the same hit/miss accounting -- as a serial run would leave it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.executor import (
+    EXECUTORS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+    parallel_requested,
+    shard,
+)
+from repro.analysis.pdnspot import PdnSpot
+from repro.analysis.study import Study
+from repro.pdn.base import OperatingConditions
+from repro.power.domains import WorkloadType
+from repro.util.errors import ConfigurationError
+
+BACKENDS = sorted(EXECUTORS)
+
+
+def _grid_study() -> Study:
+    """A small but heterogeneous grid: active + idle + parameter overrides."""
+    return (
+        Study.builder("executor-grid")
+        .tdps(4.0, 18.0)
+        .application_ratios(0.4, 0.56)
+        .power_states("C2", "C8")
+        .parameter_grid({}, {"ivr_tolerance_band_v": 0.010})
+        .build()
+    )
+
+
+def _active_point(tdp_w: float = 4.0) -> OperatingConditions:
+    return OperatingConditions.for_active_workload(
+        tdp_w, 0.56, WorkloadType.CPU_MULTI_THREAD
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Sharding
+# --------------------------------------------------------------------------- #
+class TestShard:
+    def test_concatenation_is_input_and_sizes_balanced(self):
+        items = list(range(13))
+        chunks = shard(items, 4)
+        assert [x for chunk in chunks for x in chunk] == items
+        sizes = {len(chunk) for chunk in chunks}
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_is_deterministic(self):
+        items = list(range(50))
+        assert shard(items, 7) == shard(items, 7)
+
+    def test_more_shards_than_items(self):
+        assert shard([1, 2], 8) == [[1], [2]]
+
+    def test_empty_items(self):
+        assert shard([], 4) == []
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ConfigurationError):
+            shard([1], 0)
+
+
+# --------------------------------------------------------------------------- #
+# Backend equivalence
+# --------------------------------------------------------------------------- #
+class TestBackendEquivalence:
+    @pytest.fixture(scope="class")
+    def serial_reference(self):
+        spot = PdnSpot()
+        resultset = spot.run(_grid_study())
+        return resultset, spot.cache_info()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_cold_run_matches_serial(self, backend, serial_reference):
+        reference, reference_info = serial_reference
+        spot = PdnSpot()
+        resultset = spot.run(_grid_study(), executor=backend, jobs=4)
+        assert resultset == reference
+        info = spot.cache_info()
+        assert (info.hits, info.misses, info.size) == (
+            reference_info.hits,
+            reference_info.misses,
+            reference_info.size,
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_warm_run_is_all_hits_and_equal(self, backend, serial_reference):
+        reference, _ = serial_reference
+        spot = PdnSpot()
+        spot.run(_grid_study())  # warm serially
+        cold_info = spot.cache_info()
+        resultset = spot.run(_grid_study(), executor=backend, jobs=4)
+        assert resultset == reference
+        warm_info = spot.cache_info()
+        assert warm_info.misses == cold_info.misses  # nothing recomputed
+        assert warm_info.hits == cold_info.hits + len(reference)
+        assert warm_info.size == cold_info.size
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_cache_disabled_matches_cached_results(self, backend, serial_reference):
+        reference, _ = serial_reference
+        spot = PdnSpot(enable_cache=False)
+        resultset = spot.run(_grid_study(), executor=backend, jobs=3)
+        assert resultset == reference
+        assert spot.cache_info().size == 0
+
+    def test_executor_instance_and_jobs_shortcut(self, serial_reference):
+        reference, _ = serial_reference
+        assert PdnSpot().run(_grid_study(), executor=ThreadExecutor(jobs=2)) == reference
+        assert PdnSpot().run(_grid_study(), jobs=2) == reference  # process shortcut
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic reassembly under out-of-order completion
+# --------------------------------------------------------------------------- #
+class _ReversedCompletionExecutor(SerialExecutor):
+    """Completes chunks strictly in reverse submission order."""
+
+    name = "reversed"
+
+    def _run_chunks(self, spot, chunks):
+        results = [
+            [
+                (slot, spot.evaluate_uncached(name, conditions, overrides))
+                for slot, name, conditions, overrides in chunk
+            ]
+            for chunk in chunks
+        ]
+        yield from reversed(results)
+
+
+class TestDeterministicOrdering:
+    def test_reversed_chunk_completion_preserves_grid_order(self):
+        study = _grid_study()
+        reference = PdnSpot().run(study)
+        spot = PdnSpot()
+        resultset = spot.run(study, executor=_ReversedCompletionExecutor(jobs=5))
+        assert resultset == reference
+        assert resultset.to_records() == reference.to_records()
+
+    def test_batch_order_follows_points_not_completion(self):
+        points = [("LDO", _active_point()), ("IVR", _active_point()), ("MBVR", _active_point(18.0))]
+        spot = PdnSpot()
+        evaluations = spot.evaluate_batch(points, executor=_ReversedCompletionExecutor(jobs=3))
+        assert [e.pdn_name for e in evaluations] == ["LDO", "IVR", "MBVR"]
+
+
+# --------------------------------------------------------------------------- #
+# Cache merge-back
+# --------------------------------------------------------------------------- #
+class TestCacheMergeBack:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_parallel_cold_run_warms_the_shared_cache(self, backend):
+        study = _grid_study()
+        spot = PdnSpot()
+        spot.run(study, executor=backend, jobs=4)
+        info = spot.cache_info()
+        assert info.misses == info.size > 0
+        # A follow-up serial evaluation of any grid point is a pure hit.
+        spot.evaluate_cached("IVR", _active_point())
+        after = spot.cache_info()
+        assert after.misses == info.misses
+        assert after.hits == info.hits + 1
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_duplicate_points_counted_like_serial(self, backend):
+        # Serial accounting for 3 identical points: 1 miss + 2 hits.
+        points = [("IVR", _active_point())] * 3
+        serial_spot = PdnSpot()
+        serial_spot.evaluate_batch(points)
+        serial_info = serial_spot.cache_info()
+        spot = PdnSpot()
+        evaluations = spot.evaluate_batch(points, executor=backend, jobs=2)
+        info = spot.cache_info()
+        assert (info.hits, info.misses, info.size) == (
+            serial_info.hits,
+            serial_info.misses,
+            serial_info.size,
+        )
+        assert len({e.etee for e in evaluations}) == 1
+
+    def test_merged_entries_are_caller_isolated(self):
+        # Mutating a returned evaluation must not corrupt later cache hits
+        # (the merge-back must store masters, not caller-visible objects).
+        spot = PdnSpot()
+        first = spot.evaluate_batch(
+            [("IVR", _active_point())], executor="thread", jobs=2
+        )[0]
+        first.rail_voltages_v.clear()
+        second = spot.evaluate_cached("IVR", _active_point())
+        assert second.rail_voltages_v  # unaffected by the caller's mutation
+
+
+# --------------------------------------------------------------------------- #
+# Concurrent evaluate_cached accounting (the CacheInfo lock)
+# --------------------------------------------------------------------------- #
+class TestThreadSafeAccounting:
+    def test_concurrent_lookups_lose_no_counter_updates(self):
+        spot = PdnSpot()
+        conditions = _active_point()
+        spot.evaluate_cached("IVR", conditions)  # 1 miss, cache warm
+        calls_per_thread, thread_count = 50, 8
+        barrier = threading.Barrier(thread_count)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(calls_per_thread):
+                spot.evaluate_cached("IVR", conditions)
+
+        threads = [threading.Thread(target=hammer) for _ in range(thread_count)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        info = spot.cache_info()
+        assert info.hits == calls_per_thread * thread_count
+        assert info.misses == 1
+        assert info.size == 1
+
+
+# --------------------------------------------------------------------------- #
+# The factory
+# --------------------------------------------------------------------------- #
+class TestMakeExecutor:
+    def test_none_is_engine_default(self):
+        assert make_executor(None) is None
+        assert make_executor(None, jobs=1) is None
+
+    def test_jobs_over_one_selects_process(self):
+        backend = make_executor(None, jobs=3)
+        assert isinstance(backend, ProcessExecutor)
+        assert backend.jobs == 3
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_names_resolve(self, name):
+        backend = make_executor(name, jobs=2)
+        assert backend.name == name
+        assert backend.jobs == 2
+
+    def test_instance_passes_through(self):
+        backend = ThreadExecutor(jobs=2)
+        assert make_executor(backend) is backend
+        assert make_executor(backend, jobs=2) is backend
+
+    def test_conflicting_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_executor(ThreadExecutor(jobs=2), jobs=3)
+
+    def test_defaulted_instance_adopts_explicit_jobs(self):
+        # ProcessExecutor() leaves jobs to the machine default; an explicit
+        # jobs= must win regardless of the CPU count, never conflict.
+        backend = make_executor(ProcessExecutor(), jobs=7)
+        assert isinstance(backend, ProcessExecutor)
+        assert backend.jobs == 7
+
+    def test_defaulted_subclass_adopts_jobs_keeping_state(self):
+        # Adoption must preserve subclass state (copy, not reconstruction).
+        class TaggedExecutor(SerialExecutor):
+            def __init__(self, tag, jobs=None):
+                super().__init__(jobs=jobs)
+                self.tag = tag
+
+        backend = make_executor(TaggedExecutor("audit"), jobs=5)
+        assert backend.jobs == 5
+        assert backend.tag == "audit"
+
+    def test_parallel_requested_gate(self):
+        assert parallel_requested() is False
+        assert parallel_requested(jobs=1) is False
+        assert parallel_requested(jobs=2) is True
+        assert parallel_requested("serial") is True
+        with pytest.raises(ConfigurationError):
+            parallel_requested(jobs=0)  # invalid jobs raises, never serial-fallback
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_executor("distributed")
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_executor("thread", jobs=0)
+        with pytest.raises(ConfigurationError):
+            ThreadExecutor(jobs=-1)
+
+    def test_executor_must_be_known_type(self):
+        with pytest.raises(ConfigurationError):
+            make_executor(42)  # type: ignore[arg-type]
+
+    def test_empty_units_short_circuit(self):
+        assert SerialExecutor().evaluate_units(PdnSpot(), []) == []

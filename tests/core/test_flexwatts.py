@@ -1,15 +1,12 @@
 """Tests for the FlexWatts hybrid adaptive PDN (Sec. 6-7)."""
 
-import pytest
-
-from repro.core.flexwatts import FlexWattsPdn
 from repro.core.hybrid_vr import PdnMode
 from repro.pdn.base import OperatingConditions
 from repro.pdn.imbvr import IMbvrPdn
 from repro.pdn.ivr import IvrPdn
 from repro.pdn.ldo import LdoPdn
 from repro.power.domains import WorkloadType
-from repro.power.power_states import BATTERY_LIFE_STATES, PackageCState
+from repro.power.power_states import BATTERY_LIFE_STATES
 
 
 def _conditions(tdp_w, ar=0.56, workload=WorkloadType.CPU_MULTI_THREAD):

@@ -79,12 +79,12 @@ class TestProcessor:
 
     def test_cpu_workload_keeps_graphics_near_idle(self):
         processor = Processor(ProcessorConfiguration(tdp_w=18.0))
-        loads = {l.kind: l for l in processor.loads_for_workload(WorkloadType.CPU_MULTI_THREAD)}
+        loads = {load.kind: load for load in processor.loads_for_workload(WorkloadType.CPU_MULTI_THREAD)}
         assert loads[DomainKind.GFX].nominal_power_w < loads[DomainKind.CORE0].nominal_power_w
 
     def test_graphics_workload_shifts_budget_to_gfx(self):
         processor = Processor(ProcessorConfiguration(tdp_w=18.0))
-        loads = {l.kind: l for l in processor.loads_for_workload(WorkloadType.GRAPHICS)}
+        loads = {load.kind: load for load in processor.loads_for_workload(WorkloadType.GRAPHICS)}
         assert loads[DomainKind.GFX].nominal_power_w > loads[DomainKind.CORE0].nominal_power_w
 
     def test_nominal_power_scales_with_tdp(self):

@@ -135,6 +135,50 @@ class TestSweepCommand:
         assert text.splitlines()[0].startswith("pdn,tdp_w,")
 
 
+class TestParallelFlags:
+    def test_parser_accepts_executor_flags_on_grid_commands(self):
+        args = build_parser().parse_args(
+            ["sweep", "--tdps", "4", "--jobs", "4", "--executor", "process"]
+        )
+        assert args.jobs == 4 and args.executor == "process"
+        args = build_parser().parse_args(["export", "fig4-grid", "--jobs", "2"])
+        assert args.jobs == 2 and args.executor is None
+        args = build_parser().parse_args(["figures", "--quick", "--executor", "thread"])
+        assert args.executor == "thread"
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--tdps", "4", "--executor", "gpu"])
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_parallel_sweep_output_identical_to_serial(self, spot, executor):
+        serial = run_sweep(spot, (4.0, 18.0), ars=(0.4, 0.56), output_format="csv")
+        parallel = run_sweep(
+            PdnSpot(),
+            (4.0, 18.0),
+            ars=(0.4, 0.56),
+            output_format="csv",
+            executor=executor,
+            jobs=2,
+        )
+        assert parallel == serial
+
+    def test_parallel_export_identical_to_serial(self):
+        serial = run_export("fig4-power-states", output_format="csv")
+        parallel = run_export(
+            "fig4-power-states", output_format="csv", executor="thread", jobs=2
+        )
+        assert parallel == serial
+
+    def test_main_sweep_with_jobs(self, capsys):
+        assert main(["sweep", "--tdps", "4", "--jobs", "2", "--format", "csv"]) == 0
+        assert capsys.readouterr().out.startswith("pdn,")
+
+    def test_main_invalid_jobs_is_user_error(self, capsys):
+        assert main(["sweep", "--tdps", "4", "--jobs", "0"]) == 1
+        assert "jobs" in capsys.readouterr().err
+
+
 class TestExportCommand:
     def test_export_fig2a_json(self):
         payload = json.loads(run_export("fig2a"))

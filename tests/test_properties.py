@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) on the core models and invariants."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Gate CI on pytest-benchmark results: fail on a >Nx cached-grid regression.
+
+Compares a fresh ``--benchmark-json`` output against the committed baseline
+(``benchmarks/baseline/BENCH_sweep.json``) and exits non-zero when the gated
+benchmark's mean time regressed by more than ``--threshold`` (default 2x).
+
+Because absolute timings differ between the machine that produced the
+baseline and the CI runner, the gate can instead be expressed relative to a
+reference benchmark from the *same* run with ``--relative-to``: the gated
+quantity becomes ``mean(gated) / mean(reference)`` in both runs, which
+cancels machine speed and isolates genuine efficiency regressions (for the
+cached-grid benchmark: cache hits suddenly costing like misses).
+
+The normalised gate has one deliberate blind spot: it moves when *either*
+side of the ratio moves, so a PR that intentionally changes model evaluation
+speed (the uncached reference) shifts the cached/uncached ratio without any
+cache regression -- a big model speed-up can even trip the gate.  That is the
+signal to **refresh the committed baseline in the same PR**::
+
+    PYTHONPATH=src python -m pytest benchmarks -q \
+        --benchmark-json benchmarks/baseline/BENCH_sweep.json
+
+and commit the regenerated file alongside the model change, which re-anchors
+the ratio.  A genuine cache regression (hits suddenly costing like misses)
+moves only the numerator and fails the gate on an unchanged baseline.
+
+Usage (what .github/workflows/ci.yml runs)::
+
+    python tools/check_bench_regression.py BENCH_sweep.json \
+        --baseline benchmarks/baseline/BENCH_sweep.json \
+        --benchmark test_bench_sweep_grid_cached \
+        --relative-to test_bench_sweep_grid_uncached \
+        --threshold 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Optional
+
+
+def load_means(path: Path) -> Dict[str, float]:
+    """Benchmark name -> mean seconds from a pytest-benchmark JSON file."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"error: cannot read benchmark JSON {path}: {error}")
+    means: Dict[str, float] = {}
+    for entry in payload.get("benchmarks", []):
+        name = entry.get("name")
+        mean = entry.get("stats", {}).get("mean")
+        if isinstance(name, str) and isinstance(mean, (int, float)):
+            means[name] = float(mean)
+    if not means:
+        raise SystemExit(f"error: no benchmarks found in {path}")
+    return means
+
+
+def gated_quantity(
+    means: Dict[str, float], benchmark: str, relative_to: Optional[str], label: str
+) -> float:
+    """The gated mean (seconds), optionally normalised by a reference mean."""
+    if benchmark not in means:
+        raise SystemExit(
+            f"error: benchmark {benchmark!r} not in the {label} run; "
+            f"available: {', '.join(sorted(means))}"
+        )
+    value = means[benchmark]
+    if relative_to is not None:
+        if relative_to not in means:
+            raise SystemExit(
+                f"error: reference benchmark {relative_to!r} not in the {label} run"
+            )
+        reference = means[relative_to]
+        if reference <= 0.0:
+            raise SystemExit(f"error: reference mean in the {label} run is not positive")
+        value /= reference
+    return value
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="fresh --benchmark-json output")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path("benchmarks/baseline/BENCH_sweep.json"),
+        help="committed baseline JSON (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--benchmark",
+        default="test_bench_sweep_grid_cached",
+        help="benchmark name the gate applies to (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--relative-to",
+        default=None,
+        help="normalise the gated mean by this benchmark's mean from the "
+        "same run (cancels machine speed between baseline and CI)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="maximum allowed current/baseline ratio (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 0.0:
+        parser.error("--threshold must be positive")
+
+    current_means = load_means(args.current)
+    baseline_means = load_means(args.baseline)
+    current = gated_quantity(current_means, args.benchmark, args.relative_to, "current")
+    baseline = gated_quantity(baseline_means, args.benchmark, args.relative_to, "baseline")
+    if baseline <= 0.0:
+        raise SystemExit("error: baseline quantity is not positive")
+    ratio = current / baseline
+
+    unit = "x vs reference" if args.relative_to else " s"
+    print(f"benchmark-regression gate: {args.benchmark}")
+    if args.relative_to:
+        print(f"  normalised by:   {args.relative_to}")
+    print(f"  baseline:        {baseline:.6g}{unit}")
+    print(f"  current:         {current:.6g}{unit}")
+    print(f"  ratio:           {ratio:.3f} (threshold {args.threshold:g})")
+
+    # Informational comparison of every benchmark the two runs share.
+    shared = sorted(set(current_means) & set(baseline_means))
+    if shared:
+        print("  shared benchmarks (current/baseline mean):")
+        for name in shared:
+            if baseline_means[name] > 0.0:
+                print(
+                    f"    {name}: {current_means[name] / baseline_means[name]:.3f}"
+                )
+
+    if ratio > args.threshold:
+        print(
+            f"FAIL: {args.benchmark} regressed {ratio:.2f}x "
+            f"(> {args.threshold:g}x allowed)",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
