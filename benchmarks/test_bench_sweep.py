@@ -1,6 +1,6 @@
 """Benchmark E-SWEEP: the pdnspot-cache study grid and the executor backends.
 
-Three benchmark groups track the sweep engine's perf trajectory:
+Four benchmark groups track the sweep engine's perf trajectory:
 
 * ``sweep-grid`` -- the original TDP x AR x power-state study through
   ``PdnSpot.run`` with the cache disabled (seed-equivalent cost) and warm
@@ -11,12 +11,19 @@ Three benchmark groups track the sweep engine's perf trajectory:
   evaluation units) cold, serial versus the process backend with 4 jobs; on
   a multi-core runner the process column should be measurably faster, and
   the results are asserted identical either way.
+* ``sim-scenarios`` -- the trace-driven scenario grid of the ``sim``
+  experiment (8 scenarios x 2 TDPs x 5 PDNs, ~3000 simulated phases) through
+  ``SimEngine.run``: cold serial versus the process backend, plus the warm
+  (memo-cached) run gated against the cold serial column by
+  ``tools/check_bench_regression.py``.
 """
 
 import pytest
 
 from repro.analysis.pdnspot import PdnSpot
 from repro.analysis.study import Study
+from repro.experiments.sim_scenarios import scenario_study
+from repro.sim.study import SimEngine
 
 GRID_TDPS_W = (4.0, 8.0, 18.0, 50.0)
 GRID_ARS = (0.40, 0.56, 0.80)
@@ -102,6 +109,66 @@ def test_bench_sweep_fig7_scale_cold_serial(benchmark, fig7_scale_reference):
     resultset = benchmark.pedantic(spot.run, args=(study,), rounds=1, iterations=1)
     assert len(resultset) == FIG7_SCALE_ROWS
     assert resultset == fig7_scale_reference
+
+
+#: rows of the scenario benchmark grid = 8 scenarios x 2 TDPs x 5 PDNs.
+SIM_SCENARIO_ROWS = 8 * 2 * 5
+
+
+@pytest.fixture(scope="module")
+def sim_scenario_reference():
+    """The serial scenario ResultSet the parallel run must reproduce."""
+    return SimEngine().run(scenario_study())
+
+
+@pytest.mark.benchmark(group="sim-scenarios")
+def test_bench_sim_scenarios_cold_serial(benchmark, sim_scenario_reference):
+    engine = SimEngine(enable_cache=False)
+    study = scenario_study()
+    engine.prime_for_execution([("FlexWatts", study.points[0], ())])
+    resultset = benchmark.pedantic(engine.run, args=(study,), rounds=1, iterations=1)
+    assert len(resultset) == SIM_SCENARIO_ROWS
+    assert resultset == sim_scenario_reference
+
+
+@pytest.mark.benchmark(group="sim-scenarios")
+def test_bench_sim_scenarios_cold_process(benchmark, sim_scenario_reference):
+    """The parallel cold run: simulations sharded across 4 worker processes.
+
+    As with the fig7-scale column, worker start-up (fork plus predictor
+    calibration) is part of the timed section -- the real cost of
+    ``simulate --jobs 4`` -- so the comparison against the serial column is
+    honest; the results are asserted bit-identical regardless.
+    """
+    engine = SimEngine(enable_cache=False)
+    study = scenario_study()
+    resultset = benchmark.pedantic(
+        engine.run,
+        args=(study,),
+        kwargs={"executor": "process", "jobs": PARALLEL_JOBS},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(resultset) == SIM_SCENARIO_ROWS
+    assert resultset == sim_scenario_reference
+
+
+@pytest.mark.benchmark(group="sim-scenarios")
+def test_bench_sim_scenarios_warm(benchmark, sim_scenario_reference):
+    """The memo-cached grid: every simulation served as a cache hit.
+
+    Gated by ``tools/check_bench_regression.py`` relative to the cold serial
+    column from the same run, so the gate tracks the simulation memo's
+    efficiency rather than the runner's absolute speed.
+    """
+    engine = SimEngine()
+    study = scenario_study()
+    engine.run(study)  # warm the simulation memo (and the phase cache) once
+    resultset = benchmark(engine.run, study)
+    assert resultset == sim_scenario_reference
+    info = engine.cache_info()
+    assert info.hits > 0
+    assert info.size == SIM_SCENARIO_ROWS
 
 
 @pytest.mark.benchmark(group="sweep-cold-fig7-scale")

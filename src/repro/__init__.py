@@ -46,8 +46,17 @@ from repro.pdn.registry import available_pdns, build_pdn
 from repro.power.domains import DomainKind, DomainLoad, WorkloadType
 from repro.power.parameters import PdnTechnologyParameters, default_parameters
 from repro.power.power_states import PackageCState
+from repro.sim import (
+    IntervalSimulator,
+    SimEngine,
+    SimPoint,
+    SimStudy,
+    SimulationResult,
+    run_sim,
+)
+from repro.workloads.scenarios import available_scenarios, build_scenario_trace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "PdnSpot",
@@ -73,5 +82,13 @@ __all__ = [
     "PackageCState",
     "PdnTechnologyParameters",
     "default_parameters",
+    "IntervalSimulator",
+    "SimulationResult",
+    "SimEngine",
+    "SimPoint",
+    "SimStudy",
+    "run_sim",
+    "available_scenarios",
+    "build_scenario_trace",
     "__version__",
 ]

@@ -1,10 +1,13 @@
 """Pluggable execution backends for study grids and evaluation batches.
 
-:meth:`repro.analysis.pdnspot.PdnSpot.run` and
-:meth:`~repro.analysis.pdnspot.PdnSpot.evaluate_batch` reduce every workload
-to one shape: an ordered list of *evaluation units*
-``(pdn_name, conditions, overrides)``.  An :class:`Executor` turns that list
-into evaluations:
+Every grid-shaped workload of the library reduces to one shape: an ordered
+list of *evaluation units* ``(pdn_name, conditions, overrides)`` evaluated by
+an engine implementing the :class:`EvaluationEngine` protocol --
+:class:`~repro.analysis.pdnspot.PdnSpot` for analytic operating points
+(``conditions`` is an :class:`~repro.pdn.base.OperatingConditions`) and
+:class:`~repro.sim.study.SimEngine` for trace-driven simulations
+(``conditions`` is a picklable :class:`~repro.sim.study.SimPoint` scenario
+reference).  An :class:`Executor` turns that list into evaluations:
 
 1. units already memoised by the engine's cache are served directly (and
    counted as hits, exactly as a serial run would count them);
@@ -13,10 +16,10 @@ into evaluations:
    contiguous chunks (:func:`shard`);
 3. the chunks are evaluated by the backend (in-process, a thread pool, or a
    process pool with picklable work units), in whatever order they complete;
-4. every computed evaluation is **merged back** into the shared
-   :class:`~repro.analysis.pdnspot.PdnSpot` memo cache (counted as misses),
-   duplicate units are then resolved from the freshly warmed cache (counted
-   as hits), and the results are reassembled in canonical unit order.
+4. every computed evaluation is **merged back** into the engine's shared
+   memo cache (counted as misses), duplicate units are then resolved from
+   the freshly warmed cache (counted as hits), and the results are
+   reassembled in canonical unit order.
 
 The accounting therefore matches a serial run exactly -- ``cache_info()``
 after a parallel cold run reports the same hit/miss totals -- and the
@@ -66,28 +69,90 @@ from typing import (
     Iterator,
     List,
     Optional,
+    Protocol,
     Sequence,
     Tuple,
     Union,
 )
 
 from repro.analysis.study import OverrideKey
-from repro.pdn.base import OperatingConditions, PdnEvaluation
 from repro.util.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pdnspot imports us)
-    from repro.analysis.pdnspot import PdnSpot
     from repro.power.parameters import PdnTechnologyParameters
 
-#: One evaluation unit: which PDN, at which operating point, under which
+#: The point an evaluation unit is evaluated at.  Opaque to the executor
+#: machinery: it only needs to be hashable (cache keys) and -- for the
+#: process backend -- picklable.  :class:`~repro.pdn.base.OperatingConditions`
+#: for the analytic engine, :class:`~repro.sim.study.SimPoint` for the
+#: simulation engine.
+EvalPoint = object
+
+#: What an engine produces for one unit.  ``PdnEvaluation`` for the analytic
+#: engine, ``SimulationResult`` for the simulation engine.
+EvalResult = object
+
+#: One evaluation unit: which PDN, at which point, under which
 #: technology-parameter overrides.
-EvalUnit = Tuple[str, OperatingConditions, OverrideKey]
+EvalUnit = Tuple[str, EvalPoint, OverrideKey]
 
 #: A dispatchable task: an evaluation unit tagged with its result slot.
-Task = Tuple[int, str, OperatingConditions, OverrideKey]
+Task = Tuple[int, str, EvalPoint, OverrideKey]
 
-#: A completed chunk: ``(slot, evaluation)`` pairs, in any order.
-ChunkResult = List[Tuple[int, PdnEvaluation]]
+#: A completed chunk: ``(slot, result)`` pairs, in any order.
+ChunkResult = List[Tuple[int, EvalResult]]
+
+
+class WorkerRecipe(Protocol):
+    """A picklable recipe for rebuilding an engine inside a worker process."""
+
+    def build_engine(self) -> "EvaluationEngine":
+        """Build the worker-local (uncached) engine."""
+        ...  # pragma: no cover - protocol
+
+
+class EvaluationEngine(Protocol):
+    """What an engine must provide to dispatch through an :class:`Executor`.
+
+    :class:`~repro.analysis.pdnspot.PdnSpot` and
+    :class:`~repro.sim.study.SimEngine` both implement this surface; the
+    executor machinery never looks inside the points or results it moves
+    around, so any engine whose evaluations are pure functions of
+    ``(pdn name, point, overrides)`` can ride the same backends.
+    """
+
+    @property
+    def cache_enabled(self) -> bool:
+        """Whether the engine memoises evaluations."""
+        ...  # pragma: no cover - protocol
+
+    def cache_key(
+        self, pdn_name: str, point: EvalPoint, overrides: OverrideKey
+    ) -> Tuple[object, ...]:
+        """The memo-cache key of one evaluation unit."""
+        ...  # pragma: no cover - protocol
+
+    def cache_lookup(self, key: Tuple[object, ...]) -> Optional[EvalResult]:
+        """A caller-owned copy of a cached result, or ``None`` (hit-counted)."""
+        ...  # pragma: no cover - protocol
+
+    def cache_install(self, key: Tuple[object, ...], result: EvalResult) -> EvalResult:
+        """Merge one computed result into the cache (miss-counted)."""
+        ...  # pragma: no cover - protocol
+
+    def evaluate_uncached(
+        self, pdn_name: str, point: EvalPoint, overrides: OverrideKey
+    ) -> EvalResult:
+        """Compute one unit without touching the memo cache."""
+        ...  # pragma: no cover - protocol
+
+    def prime_for_execution(self, units: Iterable[EvalUnit]) -> None:
+        """Build lazily initialised shared state before workers run."""
+        ...  # pragma: no cover - protocol
+
+    def worker_config(self) -> WorkerRecipe:
+        """The picklable recipe process-pool workers rebuild the engine from."""
+        ...  # pragma: no cover - protocol
 
 
 def default_jobs() -> int:
@@ -120,18 +185,21 @@ def shard(items: Sequence[object], shards: int) -> List[List[object]]:
 
 @dataclass(frozen=True)
 class WorkerConfig:
-    """A picklable recipe for rebuilding the evaluation engine in a worker.
+    """A picklable recipe for rebuilding the analytic engine in a worker.
 
-    Process-pool workers cannot share the parent's :class:`PdnSpot`; they
-    receive this config through the pool initializer and build their own
-    (uncached -- chunks are already deduplicated) engine once per process.
+    Process-pool workers cannot share the parent's
+    :class:`~repro.analysis.pdnspot.PdnSpot`; they receive this config
+    through the pool initializer and build their own (uncached -- chunks are
+    already deduplicated) engine once per process.  Other engines provide
+    their own :class:`WorkerRecipe` (e.g.
+    :class:`repro.sim.study.SimWorkerConfig`).
     """
 
     parameters: "PdnTechnologyParameters"
     pdn_names: Tuple[str, ...]
     baseline_name: str
 
-    def build_spot(self) -> "PdnSpot":
+    def build_engine(self) -> "EvaluationEngine":
         """Build the worker-local evaluation engine."""
         from repro.analysis.pdnspot import PdnSpot
 
@@ -142,22 +210,25 @@ class WorkerConfig:
             enable_cache=False,
         )
 
+    # Backwards-compatible spelling from when the recipe was PdnSpot-only.
+    build_spot = build_engine
+
 
 # Worker-process state, set once by :func:`_init_worker`.
-_WORKER_SPOT: Optional["PdnSpot"] = None
+_WORKER_ENGINE: Optional["EvaluationEngine"] = None
 
 
-def _init_worker(config: WorkerConfig) -> None:
+def _init_worker(config: WorkerRecipe) -> None:
     """Process-pool initializer: build the worker-local engine once."""
-    global _WORKER_SPOT
-    _WORKER_SPOT = config.build_spot()
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = config.build_engine()
 
 
 def _evaluate_chunk(chunk: List[Task]) -> ChunkResult:
     """Evaluate one task chunk in a worker process."""
-    if _WORKER_SPOT is None:  # pragma: no cover - initializer always runs first
+    if _WORKER_ENGINE is None:  # pragma: no cover - initializer always runs first
         raise ConfigurationError("worker process was not initialised")
-    return _evaluate_chunk_in_process(_WORKER_SPOT, chunk)
+    return _evaluate_chunk_in_process(_WORKER_ENGINE, chunk)
 
 
 class Executor(ABC):
@@ -196,8 +267,8 @@ class Executor(ABC):
     # The shard / evaluate / merge / reassemble driver
     # ------------------------------------------------------------------ #
     def evaluate_units(
-        self, spot: "PdnSpot", units: Iterable[EvalUnit]
-    ) -> List[PdnEvaluation]:
+        self, engine: EvaluationEngine, units: Iterable[EvalUnit]
+    ) -> List[EvalResult]:
         """Evaluate ``units`` through this backend, in canonical unit order.
 
         With the engine cache enabled, already-cached units are served
@@ -210,16 +281,16 @@ class Executor(ABC):
         unit_list = list(units)
         if not unit_list:
             return []
-        results: List[Optional[PdnEvaluation]] = [None] * len(unit_list)
-        if spot.cache_enabled:
+        results: List[Optional[EvalResult]] = [None] * len(unit_list)
+        if engine.cache_enabled:
             primaries: Dict[Tuple[object, ...], int] = {}
             duplicates: List[Tuple[int, Tuple[object, ...]]] = []
-            for slot, (name, conditions, overrides) in enumerate(unit_list):
-                key = spot.cache_key(name, conditions, overrides)
+            for slot, (name, point, overrides) in enumerate(unit_list):
+                key = engine.cache_key(name, point, overrides)
                 if key in primaries:
                     duplicates.append((slot, key))
                     continue
-                cached = spot.cache_lookup(key)
+                cached = engine.cache_lookup(key)
                 if cached is not None:
                     results[slot] = cached
                 else:
@@ -230,14 +301,16 @@ class Executor(ABC):
                 # Only the dispatched units need their models primed (a fully
                 # warm batch never reaches the workers); the single-chunk case
                 # covers the process backend's in-process fallback.
-                spot.prime_for_execution(unit_list[slot] for slot in primaries.values())
-            for chunk_result in self._run_chunks(spot, chunks):
+                engine.prime_for_execution(
+                    unit_list[slot] for slot in primaries.values()
+                )
+            for chunk_result in self._run_chunks(engine, chunks):
                 for slot, evaluation in chunk_result:
-                    name, conditions, overrides = unit_list[slot]
-                    key = spot.cache_key(name, conditions, overrides)
-                    results[slot] = spot.cache_install(key, evaluation)
+                    name, point, overrides = unit_list[slot]
+                    key = engine.cache_key(name, point, overrides)
+                    results[slot] = engine.cache_install(key, evaluation)
             for slot, key in duplicates:
-                resolved = spot.cache_lookup(key)
+                resolved = engine.cache_lookup(key)
                 if resolved is None:  # pragma: no cover - install precedes this
                     raise ConfigurationError(
                         "cache merge-back lost an evaluation; this is a bug"
@@ -247,8 +320,8 @@ class Executor(ABC):
             tasks = [(slot, *unit) for slot, unit in enumerate(unit_list)]
             chunks = shard(tasks, self.jobs)
             if self.uses_parent_models or len(chunks) == 1:
-                spot.prime_for_execution(unit_list)
-            for chunk_result in self._run_chunks(spot, chunks):
+                engine.prime_for_execution(unit_list)
+            for chunk_result in self._run_chunks(engine, chunks):
                 for slot, evaluation in chunk_result:
                     results[slot] = evaluation
         missing = [slot for slot, result in enumerate(results) if result is None]
@@ -260,16 +333,18 @@ class Executor(ABC):
 
     @abstractmethod
     def _run_chunks(
-        self, spot: "PdnSpot", chunks: List[List[Task]]
+        self, engine: EvaluationEngine, chunks: List[List[Task]]
     ) -> Iterator[ChunkResult]:
         """Evaluate every chunk, yielding completed chunks in any order."""
 
 
-def _evaluate_chunk_in_process(spot: "PdnSpot", chunk: List[Task]) -> ChunkResult:
+def _evaluate_chunk_in_process(
+    engine: EvaluationEngine, chunk: List[Task]
+) -> ChunkResult:
     """Evaluate one task chunk against the caller's own engine (no cache I/O)."""
     return [
-        (slot, spot.evaluate_uncached(name, conditions, overrides))
-        for slot, name, conditions, overrides in chunk
+        (slot, engine.evaluate_uncached(name, point, overrides))
+        for slot, name, point, overrides in chunk
     ]
 
 
@@ -284,10 +359,10 @@ class SerialExecutor(Executor):
     name = "serial"
 
     def _run_chunks(
-        self, spot: "PdnSpot", chunks: List[List[Task]]
+        self, engine: EvaluationEngine, chunks: List[List[Task]]
     ) -> Iterator[ChunkResult]:
         for chunk in chunks:
-            yield _evaluate_chunk_in_process(spot, chunk)
+            yield _evaluate_chunk_in_process(engine, chunk)
 
 
 class ThreadExecutor(Executor):
@@ -302,15 +377,15 @@ class ThreadExecutor(Executor):
     name = "thread"
 
     def _run_chunks(
-        self, spot: "PdnSpot", chunks: List[List[Task]]
+        self, engine: EvaluationEngine, chunks: List[List[Task]]
     ) -> Iterator[ChunkResult]:
         if len(chunks) <= 1:
             for chunk in chunks:
-                yield _evaluate_chunk_in_process(spot, chunk)
+                yield _evaluate_chunk_in_process(engine, chunk)
             return
         with futures.ThreadPoolExecutor(max_workers=len(chunks)) as pool:
             submitted = [
-                pool.submit(_evaluate_chunk_in_process, spot, chunk)
+                pool.submit(_evaluate_chunk_in_process, engine, chunk)
                 for chunk in chunks
             ]
             for future in futures.as_completed(submitted):
@@ -332,14 +407,14 @@ class ProcessExecutor(Executor):
     uses_parent_models = False
 
     def _run_chunks(
-        self, spot: "PdnSpot", chunks: List[List[Task]]
+        self, engine: EvaluationEngine, chunks: List[List[Task]]
     ) -> Iterator[ChunkResult]:
         if len(chunks) <= 1:
             # One chunk cannot overlap with anything; skip the pool start-up.
             for chunk in chunks:
-                yield _evaluate_chunk_in_process(spot, chunk)
+                yield _evaluate_chunk_in_process(engine, chunk)
             return
-        config = spot.worker_config()
+        config = engine.worker_config()
         with futures.ProcessPoolExecutor(
             max_workers=len(chunks), initializer=_init_worker, initargs=(config,)
         ) as pool:

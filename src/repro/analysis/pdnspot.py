@@ -36,7 +36,12 @@ from repro.analysis.study import (
 )
 from repro.cost.board_area import BoardAreaModel
 from repro.cost.bom import BomModel
-from repro.pdn.base import OperatingConditions, PdnEvaluation, PowerDeliveryNetwork
+from repro.pdn.base import (
+    OperatingConditions,
+    PdnEvaluation,
+    PowerDeliveryNetwork,
+    conditions_key,
+)
 from repro.pdn.registry import available_pdns, build_pdn
 from repro.perf.model import PerformanceModel, PerformanceResult
 from repro.power.domains import WorkloadType
@@ -80,16 +85,9 @@ def _copy_evaluation(evaluation: PdnEvaluation) -> PdnEvaluation:
     )
 
 
-def _conditions_key(conditions: OperatingConditions) -> Tuple[object, ...]:
-    """A hashable identity for an operating point (loads normalised to tuple)."""
-    return (
-        conditions.tdp_w,
-        conditions.application_ratio,
-        conditions.workload_type,
-        conditions.power_state,
-        conditions.board_vr_state,
-        tuple(conditions.loads),
-    )
+# Backwards-compatible alias: the key helper moved to repro.pdn.base so the
+# interval simulator's phase cache can share it without importing analysis.
+_conditions_key = conditions_key
 
 
 class PdnSpot:

@@ -236,37 +236,44 @@ class ResultSet:
         baseline: str,
         value_columns: Optional[Sequence[str]] = None,
         key_column: str = "pdn",
+        metric_columns: Optional[Sequence[str]] = None,
     ) -> "ResultSet":
         """Divide the value columns by the ``baseline`` row of each scenario.
 
         Rows are grouped by scenario -- every column that is neither
-        ``key_column``, nor a value column, nor one of the standard metric
-        columns (``etee``/``supply_power_w``/``nominal_power_w``, which vary
-        per PDN and are never part of a scenario's identity); within each
-        group the value cells are divided by the cells of the row whose
-        ``key_column`` equals ``baseline`` -- the paper's "normalised to the
-        IVR PDN" convention.
+        ``key_column``, nor a value column, nor one of the metric columns
+        (columns that vary per PDN and are never part of a scenario's
+        identity); within each group the value cells are divided by the cells
+        of the row whose ``key_column`` equals ``baseline`` -- the paper's
+        "normalised to the IVR PDN" convention.
+
+        ``metric_columns`` defaults to the analytic-sweep metrics
+        (``etee``/``supply_power_w``/``nominal_power_w``); result sets with a
+        different metric schema (e.g. the interval-simulation output, whose
+        mode-switch counters also vary per PDN) pass their own metric set --
+        see :data:`repro.sim.adapters.SIM_METRIC_COLUMNS`.
         """
         if key_column not in self._columns:
             raise ConfigurationError(f"key column {key_column!r} not in result set")
+        if metric_columns is None:
+            metric_columns = ("etee", "supply_power_w", "nominal_power_w")
         if value_columns is None:
             value_columns = [
-                column
-                for column in ("etee", "supply_power_w", "nominal_power_w")
-                if column in self._columns
+                column for column in metric_columns if column in self._columns
             ]
         if not value_columns:
             raise ConfigurationError("no value columns to normalise")
         for column in value_columns:
             if column not in self._columns:
                 raise ConfigurationError(f"value column {column!r} not in result set")
-        non_scenario = {"etee", "supply_power_w", "nominal_power_w", key_column}
+        non_scenario = {key_column, *metric_columns}
         non_scenario.update(value_columns)
         group_columns = [
             column for column in self._columns if column not in non_scenario
         ]
 
         def group_key(index: int) -> Tuple[object, ...]:
+            """The scenario identity of one row (hashable group columns)."""
             return tuple(
                 _hashable(self._columns[column][index]) for column in group_columns
             )

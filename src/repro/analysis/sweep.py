@@ -28,10 +28,16 @@ from repro.power.power_states import BATTERY_LIFE_STATES, PackageCState
 Record = Dict[str, object]
 
 
+#: Where the sweep -> Study migration guide lives: the ``guides/migration/``
+#: page of the MkDocs site CI builds from ``docs/guides/migration.md``.
+MIGRATION_GUIDE = "docs/guides/migration.md (guides/migration/ on the docs site)"
+
+
 def _deprecated(name: str) -> None:
     warnings.warn(
         f"{name} is deprecated; build a Study and run it with PdnSpot.run "
-        "(see repro.analysis.study)",
+        f"(see repro.analysis.study and the migration guide: "
+        f"{MIGRATION_GUIDE})",
         DeprecationWarning,
         stacklevel=3,
     )

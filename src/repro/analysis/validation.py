@@ -110,6 +110,7 @@ class ValidationHarness:
         params = self._nominal_parameters
 
         def perturb(value: float) -> float:
+            """Jitter one nominal parameter by up to +/- the configured fraction."""
             return value * (1.0 + self._rng.uniform(-jitter, jitter))
 
         return params.with_overrides(

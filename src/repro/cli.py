@@ -11,6 +11,7 @@ The CLI exposes the most common analyses without writing any Python::
     python -m repro sweep --tdps 4 18 50 --ars 0.4 0.56 --format csv
     python -m repro sweep --tdps 4 18 50 --ars 0.4 0.56 --jobs 4
     python -m repro export fig3 --format json --output fig3.json
+    python -m repro simulate --scenario bursty-interactive --jobs 4 --format json
 
 Every sub-command prints a plain-text table by default (no plotting
 dependency); ``--json`` (and ``--format json|csv`` on ``sweep``/``export``)
@@ -38,8 +39,10 @@ from repro.core.runtime_estimator import RuntimeInputEstimator
 from repro.pdn.base import OperatingConditions
 from repro.power.domains import WorkloadType
 from repro.power.power_states import PackageCState
+from repro.sim.study import SimStudy, run_sim
 from repro.util.errors import ReproError
 from repro.workloads.graphics import THREEDMARK06_BENCHMARKS
+from repro.workloads.scenarios import DEFAULT_SEED, available_scenarios
 from repro.workloads.spec_cpu2006 import SPEC_CPU2006_BENCHMARKS
 
 PDN_ORDER = ("IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts")
@@ -155,6 +158,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--output", default=None, help="write to this file instead of stdout")
     _add_executor_flags(sweep)
+
+    simulate = subparsers.add_parser(
+        "simulate",
+        help="replay scenario traces on every PDN through the interval simulator",
+    )
+    simulate.add_argument(
+        "--scenario", nargs="+", choices=available_scenarios(), default=None,
+        metavar="NAME",
+        help="scenario trace generator(s) to replay (default: all registered: "
+        + ", ".join(available_scenarios()) + ")",
+    )
+    simulate.add_argument(
+        "--tdps", type=float, nargs="+", default=[18.0], metavar="W",
+        help="TDP levels to simulate at, in watts (default: 18)",
+    )
+    simulate.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED,
+        help=f"trace-generator seed (default: {DEFAULT_SEED})",
+    )
+    simulate.add_argument(
+        "--pdns", nargs="+", default=None, help="restrict to these PDN architectures"
+    )
+    simulate.add_argument(
+        "--format", choices=("table", "json", "csv"), default="table",
+        help="output format (default: table)",
+    )
+    simulate.add_argument("--output", default=None, help="write to this file instead of stdout")
+    _add_executor_flags(simulate)
 
     export = subparsers.add_parser(
         "export", help="export a paper-figure dataset as JSON or CSV"
@@ -334,6 +365,43 @@ def run_sweep(
     return _render(resultset, output_format, title="Study sweep")
 
 
+def build_simulate_study(
+    scenarios: Optional[Sequence[str]] = None,
+    tdps: Sequence[float] = (18.0,),
+    seed: int = DEFAULT_SEED,
+    pdns: Optional[Sequence[str]] = None,
+) -> SimStudy:
+    """Assemble the CLI ``simulate`` flags into a :class:`SimStudy`."""
+    builder = (
+        SimStudy.builder("cli-simulate")
+        .scenarios(*(scenarios if scenarios else available_scenarios()))
+        .tdps(*tdps)
+        .seeds(seed)
+    )
+    if pdns:
+        builder.pdns(*pdns)
+    return builder.build()
+
+
+def run_simulate(
+    scenarios: Optional[Sequence[str]] = None,
+    tdps: Sequence[float] = (18.0,),
+    seed: int = DEFAULT_SEED,
+    pdns: Optional[Sequence[str]] = None,
+    output_format: str = "table",
+    executor: ExecutorLike = None,
+    jobs: Optional[int] = None,
+) -> str:
+    """Run scenario simulations and render the summary result set.
+
+    ``--jobs``/``--executor`` dispatch the ``(scenario, PDN)`` grid through a
+    parallel backend; the rendered output is bit-identical to the serial run.
+    """
+    study = build_simulate_study(scenarios, tdps, seed, pdns)
+    resultset = run_sim(study, executor=executor, jobs=jobs)
+    return _render(resultset, output_format, title="Scenario simulation")
+
+
 def export_dataset(
     dataset: str, executor: ExecutorLike = None, jobs: Optional[int] = None
 ) -> ResultSet:
@@ -411,6 +479,20 @@ def _dispatch(args: argparse.Namespace) -> int:
         _emit(
             run_export(
                 args.dataset, args.format, executor=args.executor, jobs=args.jobs
+            ),
+            args.output,
+        )
+        return 0
+    if args.command == "simulate":
+        _emit(
+            run_simulate(
+                scenarios=args.scenario,
+                tdps=args.tdps,
+                seed=args.seed,
+                pdns=args.pdns,
+                output_format=args.format,
+                executor=args.executor,
+                jobs=args.jobs,
             ),
             args.output,
         )

@@ -18,6 +18,7 @@ from repro.experiments import (
     fig5_loss_breakdown,
     fig7_spec_4w,
     fig8_evaluation,
+    sim_scenarios,
 )
 
 
@@ -53,6 +54,7 @@ def run_all_experiments(
         "fig5": fig5_loss_breakdown.format_figure5(spot=spot, executor=executor, jobs=jobs),
         "fig7": fig7_spec_4w.format_figure7(spot=spot, executor=executor, jobs=jobs),
         "fig8": fig8_evaluation.format_figure8(spot=spot, executor=executor, jobs=jobs),
+        "sim": sim_scenarios.format_sim_scenarios(executor=executor, jobs=jobs),
     }
     if include_validation:
         outputs["fig4"] = fig4_validation.format_figure4(

@@ -30,6 +30,23 @@ from repro.util.validation import require_positive
 from repro.vr.switching import VRPowerState
 
 
+def conditions_key(conditions: "OperatingConditions") -> tuple:
+    """A hashable identity for an operating point (loads normalised to tuple).
+
+    Used as (part of) the memo-cache key by every engine that memoises
+    evaluations over operating points: :class:`repro.analysis.pdnspot.PdnSpot`
+    and the per-run phase cache of the interval simulator.
+    """
+    return (
+        conditions.tdp_w,
+        conditions.application_ratio,
+        conditions.workload_type,
+        conditions.power_state,
+        conditions.board_vr_state,
+        tuple(conditions.loads),
+    )
+
+
 @dataclass(frozen=True)
 class OperatingConditions:
     """One operating point at which a PDN is evaluated.

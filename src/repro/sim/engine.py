@@ -12,17 +12,82 @@ thrashing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.flexwatts import FlexWattsPdn
 from repro.core.hybrid_vr import PdnMode
-from repro.pdn.base import OperatingConditions, PowerDeliveryNetwork
+from repro.core.runtime_estimator import RuntimeInputEstimator
+from repro.pdn.base import (
+    OperatingConditions,
+    PdnEvaluation,
+    PowerDeliveryNetwork,
+    conditions_key,
+)
 from repro.power.domains import WorkloadType
 from repro.power.power_states import PackageCState
-from repro.soc.pmu import PowerManagementUnit
+from repro.soc.pmu import PmuTelemetry, PowerManagementUnit
 from repro.util.errors import ConfigurationError
 from repro.util.validation import require_positive
 from repro.workloads.base import WorkloadPhase, WorkloadTrace
+
+#: Evaluation hook for static PDNs: ``(pdn, conditions) -> PdnEvaluation``.
+#: Lets an external memo cache (a :class:`repro.analysis.pdnspot.PdnSpot`)
+#: serve operating points repeated across traces, scenarios and TDPs.
+PhaseEvaluator = Callable[
+    [PowerDeliveryNetwork, OperatingConditions], PdnEvaluation
+]
+
+#: Evaluation hook for the hybrid PDN's mode-forced evaluations:
+#: ``(pdn, conditions, mode) -> PdnEvaluation``.
+ModeEvaluator = Callable[
+    [FlexWattsPdn, OperatingConditions, PdnMode], PdnEvaluation
+]
+
+
+def phase_conditions(phase: WorkloadPhase, tdp_w: float) -> OperatingConditions:
+    """The operating point one workload phase is evaluated at.
+
+    Active C0 phases carry their benchmark's application ratio and workload
+    type; every other phase takes both from the package power-state profile.
+    This is *the* phase-to-operating-point mapping -- the simulator, the
+    telemetry profile and any external tooling must agree on it.
+    """
+    if phase.power_state is PackageCState.C0 and phase.benchmark is not None:
+        return OperatingConditions.for_active_workload(
+            tdp_w=tdp_w,
+            application_ratio=phase.benchmark.application_ratio,
+            workload_type=phase.benchmark.workload_type,
+        )
+    if phase.power_state is PackageCState.C0:
+        raise ConfigurationError("a C0 phase needs a benchmark")
+    return OperatingConditions.for_power_state(tdp_w, phase.power_state)
+
+
+def phase_duration(phase: WorkloadPhase, trace_period_s: float) -> float:
+    """One phase's wall-clock duration (residency fallback included)."""
+    if phase.duration_s is not None:
+        return phase.duration_s
+    return phase.residency * trace_period_s
+
+
+def telemetry_profile(
+    trace: WorkloadTrace, tdp_w: float, trace_period_s: float = 1.0
+) -> List[PmuTelemetry]:
+    """Per-phase PMU telemetry snapshots a trace produces at ``tdp_w``.
+
+    Exactly the snapshots the interval simulator emits through
+    :meth:`~repro.soc.pmu.PowerManagementUnit.emit_telemetry` -- same
+    phase-to-operating-point mapping (:func:`phase_conditions`), same
+    zero-duration skipping, same oracle estimator -- without running a
+    simulation (no PDN needed).
+    """
+    return [
+        RuntimeInputEstimator.estimate_from_conditions(
+            phase_conditions(phase, tdp_w)
+        )
+        for phase in trace.phases
+        if phase_duration(phase, trace_period_s) > 0.0
+    ]
 
 
 @dataclass(frozen=True)
@@ -75,9 +140,12 @@ class SimulationResult:
     def time_in_mode_s(self, mode: PdnMode) -> float:
         """Time spent with the hybrid PDN in ``mode`` (FlexWatts runs only)."""
         return sum(
-            record.duration_s
-            for record in self.phase_records
-            if record.pdn_mode == mode.value
+            (
+                record.duration_s
+                for record in self.phase_records
+                if record.pdn_mode == mode.value
+            ),
+            0.0,
         )
 
 
@@ -88,12 +156,12 @@ class IntervalSimulator:
     ----------
     tdp_w:
         The processor's configured TDP.
-    default_phase_duration_s:
-        Duration assigned to phases that carry only a residency (battery-life
-        traces); each phase then lasts ``residency * trace_period_s``.
     trace_period_s:
         The period over which residencies are defined (e.g. the length of one
-        video frame times the number of frames simulated).
+        video frame times the number of frames simulated); phases that carry
+        only a residency last ``residency * trace_period_s``.
+    evaluation_interval_s:
+        How often the PMU re-evaluates its algorithms (FlexWatts uses 10 ms).
     """
 
     def __init__(
@@ -113,20 +181,12 @@ class IntervalSimulator:
     # Operating-point construction
     # ------------------------------------------------------------------ #
     def _conditions_for_phase(self, phase: WorkloadPhase) -> OperatingConditions:
-        if phase.power_state is PackageCState.C0 and phase.benchmark is not None:
-            return OperatingConditions.for_active_workload(
-                tdp_w=self._tdp_w,
-                application_ratio=phase.benchmark.application_ratio,
-                workload_type=phase.benchmark.workload_type,
-            )
-        if phase.power_state is PackageCState.C0:
-            raise ConfigurationError("a C0 phase needs a benchmark")
-        return OperatingConditions.for_power_state(self._tdp_w, phase.power_state)
+        """Delegate to the module-level mapping at this simulator's TDP."""
+        return phase_conditions(phase, self._tdp_w)
 
     def _phase_duration_s(self, phase: WorkloadPhase) -> float:
-        if phase.duration_s is not None:
-            return phase.duration_s
-        return phase.residency * self._trace_period_s
+        """Delegate to the module-level mapping at this simulator's period."""
+        return phase_duration(phase, self._trace_period_s)
 
     # ------------------------------------------------------------------ #
     # Simulation
@@ -136,6 +196,8 @@ class IntervalSimulator:
         trace: WorkloadTrace,
         pdn: PowerDeliveryNetwork,
         pmu: Optional[PowerManagementUnit] = None,
+        evaluate: Optional[PhaseEvaluator] = None,
+        evaluate_in_mode: Optional[ModeEvaluator] = None,
     ) -> SimulationResult:
         """Simulate ``trace`` on ``pdn``.
 
@@ -143,15 +205,67 @@ class IntervalSimulator:
         every phase, the mode-switch controller enforces the minimum mode
         residency, and every switch adds the flow's latency and energy.  Other
         PDNs are static, so their phases are evaluated directly.
+
+        Phases are *batched by operating point*: because the electrical models
+        are pure, every distinct ``(operating point, mode)`` pair is evaluated
+        exactly once per run and repeated phases (duty-cycled traces, DVFS
+        ladders) are served from a per-run memo.  The optional ``evaluate`` /
+        ``evaluate_in_mode`` hooks route those one-per-point evaluations
+        through an external cache (:class:`repro.sim.study.SimEngine` wires
+        them to a shared :class:`~repro.analysis.pdnspot.PdnSpot`), so
+        operating points repeated *across* traces are also computed once.
+
+        A trace whose phases all resolve to zero duration is rejected: it has
+        no simulable time, so every aggregate would silently be zero.
         """
         if pmu is None:
             pmu = PowerManagementUnit(tdp_w=self._tdp_w)
+        durations_s = [self._phase_duration_s(phase) for phase in trace.phases]
+        if not any(duration > 0.0 for duration in durations_s):
+            raise ConfigurationError(
+                f"trace {trace.name!r} has no phase with a non-zero duration; "
+                "nothing to simulate"
+            )
         result = SimulationResult(
             pdn_name=pdn.name, trace_name=trace.name, tdp_w=self._tdp_w
         )
         adaptive = isinstance(pdn, FlexWattsPdn)
+        # Per-run memos: the models are pure, so evaluations and mode
+        # predictions depend only on the operating point (plus the forced
+        # mode), never on when in the trace they happen.
+        evaluations: Dict[Tuple[object, ...], PdnEvaluation] = {}
+        predictions: Dict[Tuple[object, ...], PdnMode] = {}
+
+        def evaluate_point(
+            conditions: OperatingConditions, mode: Optional[PdnMode]
+        ) -> PdnEvaluation:
+            """One evaluation per distinct (operating point, mode) pair."""
+            key = (mode, conditions_key(conditions))
+            cached = evaluations.get(key)
+            if cached is None:
+                if mode is not None:
+                    if evaluate_in_mode is not None:
+                        cached = evaluate_in_mode(pdn, conditions, mode)
+                    else:
+                        cached = pdn.evaluate_in_mode(conditions, mode)
+                elif evaluate is not None:
+                    cached = evaluate(pdn, conditions)
+                else:
+                    cached = pdn.evaluate(conditions)
+                evaluations[key] = cached
+            return cached
+
+        def predict_point(conditions: OperatingConditions) -> PdnMode:
+            """One Algorithm-1 prediction per distinct operating point."""
+            key = conditions_key(conditions)
+            cached = predictions.get(key)
+            if cached is None:
+                cached = pdn.predict_mode(conditions)
+                predictions[key] = cached
+            return cached
+
         for index, phase in enumerate(trace.phases):
-            duration_s = self._phase_duration_s(phase)
+            duration_s = durations_s[index]
             if duration_s == 0.0:
                 continue
             conditions = self._conditions_for_phase(phase)
@@ -160,11 +274,11 @@ class IntervalSimulator:
             if adaptive:
                 controller = pdn.switch_controller
                 controller.advance_time(duration_s)
-                desired_mode = pdn.predict_mode(conditions)
+                desired_mode = predict_point(conditions)
                 if desired_mode is not controller.mode and controller.can_switch():
                     # The switch is performed at the phase boundary, while the
                     # compute domains are idle (the flow itself forces C6).
-                    previous_power = pdn.evaluate_in_mode(
+                    previous_power = evaluate_point(
                         conditions, controller.mode
                     ).supply_power_w
                     latency_s = controller.switch_to(desired_mode, pmu=pmu)
@@ -172,12 +286,16 @@ class IntervalSimulator:
                     result.mode_switch_time_s += latency_s
                     result.mode_switch_energy_j += previous_power * latency_s
                     switched = True
-                evaluation = pdn.evaluate_in_mode(conditions, controller.mode)
+                evaluation = evaluate_point(conditions, controller.mode)
                 mode_name = controller.mode.value
             else:
-                evaluation = pdn.evaluate(conditions)
+                evaluation = evaluate_point(conditions, None)
             pmu.advance_time(duration_s)
             pmu.enter_power_state(phase.power_state)
+            if pmu.has_telemetry_listeners:
+                pmu.emit_telemetry(
+                    RuntimeInputEstimator.estimate_from_conditions(conditions)
+                )
             result.phase_records.append(
                 PhaseRecord(
                     phase_index=index,

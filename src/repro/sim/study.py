@@ -1,0 +1,570 @@
+"""Declarative trace-driven simulation studies on the executor engine.
+
+The analytic half of the library evaluates :class:`~repro.analysis.study.Study`
+grids through :meth:`PdnSpot.run`; this module gives the *dynamic* half the
+same shape.  A :class:`SimStudy` is a grid of :class:`SimPoint` operating
+points -- ``scenario x TDP x seed``, optionally crossed with
+technology-parameter overrides -- and :func:`run_sim` (or
+:meth:`SimEngine.run`) evaluates it into a
+:class:`~repro.analysis.resultset.ResultSet`, one summary row per
+``(scenario, pdn)`` simulation.
+
+:class:`SimEngine` implements the same execution-engine protocol as
+:class:`~repro.analysis.pdnspot.PdnSpot` (see
+:mod:`repro.analysis.executor`), so simulation grids dispatch through the
+unchanged ``SerialExecutor`` / ``ThreadExecutor`` / ``ProcessExecutor``
+backends: work units are picklable ``(pdn name, SimPoint, overrides)``
+references (workers rebuild traces from the scenario registry and the PDN
+models from the parameter set), results are memo-cached and merged back, and
+the :class:`ResultSet` is reassembled in canonical grid order -- a parallel
+run is bit-identical to the serial one, matching the analytic engine's
+guarantee.
+
+Example
+-------
+>>> from repro.sim.study import SimStudy, run_sim
+>>> study = SimStudy.over_scenarios(["duty-cycled-background"], tdps_w=[18.0])
+>>> serial = run_sim(study)
+>>> parallel = run_sim(study, executor="thread", jobs=2)
+>>> serial == parallel
+True
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.analysis.executor import ExecutorLike, make_executor
+from repro.analysis.pdnspot import CacheInfo, PdnSpot
+from repro.analysis.resultset import Record, ResultSet
+from repro.analysis.study import OverrideKey, _flatten, _freeze_overrides
+from repro.core.flexwatts import FlexWattsPdn
+from repro.core.hybrid_vr import PdnMode
+from repro.core.mode_switching import ModeSwitchController
+from repro.pdn.base import OperatingConditions, PdnEvaluation, conditions_key
+from repro.power.parameters import PdnTechnologyParameters
+from repro.sim.adapters import simulation_record
+from repro.sim.engine import IntervalSimulator, SimulationResult
+from repro.util.errors import ConfigurationError
+from repro.workloads.scenarios import DEFAULT_SEED, build_scenario_trace, get_scenario
+
+
+@dataclass(frozen=True)
+class SimPoint:
+    """One simulation operating point of a :class:`SimStudy` grid.
+
+    A point is a *reference*, not a trace: ``(scenario, seed)`` rebuilds the
+    identical trace in any process through the scenario registry, which is
+    what makes the point picklable and memo-cacheable.
+    """
+
+    scenario: str
+    tdp_w: float
+    seed: int = DEFAULT_SEED
+    trace_period_s: float = 1.0
+    overrides: OverrideKey = ()
+
+    def __post_init__(self) -> None:
+        """Validate the scenario name and the numeric axes fail-fast."""
+        get_scenario(self.scenario)  # unknown names fail at build, not dispatch
+        if self.tdp_w <= 0.0:
+            raise ConfigurationError(f"tdp_w must be positive, got {self.tdp_w!r}")
+        if self.trace_period_s <= 0.0:
+            raise ConfigurationError(
+                f"trace_period_s must be positive, got {self.trace_period_s!r}"
+            )
+
+    def record_fields(self) -> Record:
+        """The point's identifying record fields (summary-row layout)."""
+        fields: Record = {
+            "scenario": self.scenario,
+            "tdp_w": self.tdp_w,
+            "seed": self.seed,
+        }
+        if self.trace_period_s != 1.0:
+            fields["trace_period_s"] = self.trace_period_s
+        if self.overrides:
+            fields["parameters"] = dict(self.overrides)
+        return fields
+
+
+@dataclass(frozen=True)
+class SimStudy:
+    """A named, ordered grid of :class:`SimPoint` simulations.
+
+    Attributes
+    ----------
+    name:
+        Label carried into the produced :class:`ResultSet`.
+    points:
+        The grid points, in evaluation order.
+    pdn_names:
+        Optional restriction of the PDN architectures to simulate; ``None``
+        means "every PDN the evaluating engine has".
+    """
+
+    name: str
+    points: Tuple[SimPoint, ...]
+    pdn_names: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        """Reject nameless or empty studies."""
+        if not self.name:
+            raise ConfigurationError("a simulation study needs a non-empty name")
+        if not self.points:
+            raise ConfigurationError(f"sim study {self.name!r} has no points")
+
+    def __len__(self) -> int:
+        """Number of grid points (simulations per PDN)."""
+        return len(self.points)
+
+    @staticmethod
+    def builder(name: str = "sim-study") -> "SimStudyBuilder":
+        """Start a fluent :class:`SimStudyBuilder`."""
+        return SimStudyBuilder(name)
+
+    @classmethod
+    def over_scenarios(
+        cls,
+        scenarios: Sequence[str],
+        tdps_w: Sequence[float] = (18.0,),
+        seed: int = DEFAULT_SEED,
+        name: str = "scenario-sweep",
+    ) -> "SimStudy":
+        """A scenario x TDP grid at one seed (the common CLI shape)."""
+        return (
+            cls.builder(name).scenarios(*scenarios).tdps(*tdps_w).seeds(seed).build()
+        )
+
+
+class SimStudyBuilder:
+    """Fluent builder of :class:`SimStudy` grids.
+
+    Grid order is deterministic -- parameter overrides, then scenario, then
+    TDP, then seed -- mirroring the axis nesting of the analytic
+    :class:`~repro.analysis.study.StudyBuilder`.
+    """
+
+    def __init__(self, name: str = "sim-study"):
+        self._name = name
+        self._scenarios: List[str] = []
+        self._tdps_w: List[float] = []
+        self._seeds: List[int] = []
+        self._trace_period_s = 1.0
+        self._parameter_grid: List[Dict[str, object]] = []
+        self._pdn_names: Optional[List[str]] = None
+
+    def scenarios(self, *names: Union[str, Sequence[str]]) -> "SimStudyBuilder":
+        """Add scenario names (validated against the registry at build)."""
+        self._scenarios.extend(str(name) for name in _flatten(names))
+        return self
+
+    def tdps(self, *tdps_w: Union[float, Sequence[float]]) -> "SimStudyBuilder":
+        """Add TDP levels (watts) to the grid."""
+        self._tdps_w.extend(float(value) for value in _flatten(tdps_w))
+        return self
+
+    def seeds(self, *seeds: Union[int, Sequence[int]]) -> "SimStudyBuilder":
+        """Add trace seeds to the grid (one trace variant per seed)."""
+        self._seeds.extend(int(value) for value in _flatten(seeds))
+        return self
+
+    def trace_period(self, trace_period_s: float) -> "SimStudyBuilder":
+        """Set the residency period for phases without explicit durations."""
+        self._trace_period_s = float(trace_period_s)
+        return self
+
+    def parameter_grid(self, *overrides: Mapping[str, object]) -> "SimStudyBuilder":
+        """Cross the grid with technology-parameter override sets."""
+        self._parameter_grid.extend(dict(override) for override in overrides)
+        return self
+
+    def pdns(self, *names: Union[str, Sequence[str]]) -> "SimStudyBuilder":
+        """Restrict the study to the named PDN architectures."""
+        if self._pdn_names is None:
+            self._pdn_names = []
+        self._pdn_names.extend(str(name) for name in _flatten(names))
+        return self
+
+    def build(self) -> SimStudy:
+        """Materialise the grid into an immutable :class:`SimStudy`."""
+        if not self._scenarios:
+            raise ConfigurationError(
+                f"sim study {self._name!r} needs at least one scenario"
+            )
+        tdps_w = self._tdps_w or [18.0]
+        seeds = self._seeds or [DEFAULT_SEED]
+        override_grid: List[OverrideKey] = [
+            _freeze_overrides(overrides) for overrides in self._parameter_grid
+        ] or [()]
+        points: List[SimPoint] = []
+        for overrides in override_grid:
+            for scenario in self._scenarios:
+                for tdp_w in tdps_w:
+                    for seed in seeds:
+                        points.append(
+                            SimPoint(
+                                scenario=scenario,
+                                tdp_w=tdp_w,
+                                seed=seed,
+                                trace_period_s=self._trace_period_s,
+                                overrides=overrides,
+                            )
+                        )
+        return SimStudy(
+            name=self._name,
+            points=tuple(points),
+            pdn_names=tuple(self._pdn_names) if self._pdn_names is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class SimWorkerConfig:
+    """A picklable recipe for rebuilding a :class:`SimEngine` in a worker."""
+
+    parameters: PdnTechnologyParameters
+    pdn_names: Tuple[str, ...]
+    baseline_name: str
+
+    def build_engine(self) -> "SimEngine":
+        """Build the worker-local (uncached) simulation engine."""
+        return SimEngine(
+            parameters=self.parameters,
+            pdn_names=list(self.pdn_names),
+            baseline_name=self.baseline_name,
+            enable_cache=False,
+        )
+
+
+def _copy_result(result: SimulationResult) -> SimulationResult:
+    """A caller-owned copy of a cached simulation result.
+
+    ``SimulationResult`` is mutable (its record list and counters); handing
+    the cached master to callers would let one caller's mutation corrupt
+    every later cache hit.  The records themselves are frozen, so a shallow
+    list copy suffices.
+    """
+    return replace(result, phase_records=list(result.phase_records))
+
+
+class SimEngine:
+    """Memo-cached, executor-compatible trace-simulation engine.
+
+    The engine owns a :class:`~repro.analysis.pdnspot.PdnSpot` (PDN models,
+    technology parameters, and the *phase-level* evaluation cache that serves
+    operating points repeated across traces and scenarios) plus a
+    *simulation-level* memo cache keyed by
+    ``(overrides, pdn name, SimPoint)``.  It implements the execution-engine
+    protocol of :mod:`repro.analysis.executor`, so
+    :meth:`run` accepts the same ``executor=``/``jobs=`` arguments as
+    :meth:`PdnSpot.run` and parallel results are bit-identical to serial.
+
+    Parameters
+    ----------
+    parameters:
+        Technology parameters shared by every PDN model (Table 2 defaults).
+    pdn_names:
+        Which PDN architectures to simulate; defaults to all five.
+    baseline_name:
+        The PDN used for normalisation (IVR, the state of the art).
+    enable_cache:
+        Whether simulations (and phase evaluations) are memoised.  Worker
+        processes disable it -- their units are already deduplicated.
+    """
+
+    def __init__(
+        self,
+        parameters: Optional[PdnTechnologyParameters] = None,
+        pdn_names: Optional[Sequence[str]] = None,
+        baseline_name: str = "IVR",
+        enable_cache: bool = True,
+    ):
+        self._spot = PdnSpot(
+            parameters=parameters,
+            pdn_names=pdn_names,
+            baseline_name=baseline_name,
+            enable_cache=enable_cache,
+        )
+        self._baseline_name = baseline_name
+        self._cache_enabled = enable_cache
+        self._cache: Dict[Tuple[object, ...], SimulationResult] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_lock = threading.Lock()
+        #: Calibrated Algorithm-1 predictors, keyed by parameter overrides.
+        #: Model state rather than an evaluation memo: kept even with the
+        #: cache disabled (mirroring the analytic engine, whose primed PDN
+        #: models survive ``enable_cache=False``) and across clear_cache().
+        self._predictors: Dict[OverrideKey, object] = {}
+        #: Mode-forced FlexWatts evaluations shared across runs, keyed by
+        #: (overrides, mode, operating point).  The models are pure, so a
+        #: racing double-compute is benign; setdefault keeps one master.
+        #: Subject to ``enable_cache`` and dropped by :meth:`clear_cache`.
+        self._mode_evaluations: Dict[Tuple[object, ...], PdnEvaluation] = {}
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def spot(self) -> PdnSpot:
+        """The analytic engine backing the phase-level evaluations."""
+        return self._spot
+
+    @property
+    def parameters(self) -> PdnTechnologyParameters:
+        """The technology parameters shared by every PDN model."""
+        return self._spot.parameters
+
+    # ------------------------------------------------------------------ #
+    # Execution-engine protocol (see repro.analysis.executor)
+    # ------------------------------------------------------------------ #
+    @property
+    def cache_enabled(self) -> bool:
+        """Whether simulations are memoised (fixed at construction)."""
+        return self._cache_enabled
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss statistics of the simulation memo cache."""
+        with self._cache_lock:
+            return CacheInfo(
+                hits=self._cache_hits, misses=self._cache_misses, size=len(self._cache)
+            )
+
+    def clear_cache(self) -> None:
+        """Drop every memoised simulation and phase evaluation.
+
+        The simulation memo, its statistics, the cross-run mode-evaluation
+        memo and the backing analytic engine's phase cache are all cleared;
+        calibrated predictors are model state and survive (rebuild the engine
+        to drop those).
+        """
+        with self._cache_lock:
+            self._cache.clear()
+            self._cache_hits = 0
+            self._cache_misses = 0
+            self._mode_evaluations.clear()
+        self._spot.clear_cache()
+
+    def cache_key(
+        self, pdn_name: str, point: SimPoint, overrides: OverrideKey = ()
+    ) -> Tuple[object, ...]:
+        """The memo-cache key of one simulation unit."""
+        return (overrides, pdn_name, point)
+
+    def cache_lookup(self, key: Tuple[object, ...]) -> Optional[SimulationResult]:
+        """A caller-owned copy of a cached simulation (counted as a hit)."""
+        with self._cache_lock:
+            cached = self._cache.get(key)
+            if cached is None:
+                return None
+            self._cache_hits += 1
+            return _copy_result(cached)
+
+    def cache_install(
+        self, key: Tuple[object, ...], result: SimulationResult
+    ) -> SimulationResult:
+        """Merge one computed simulation into the cache (counted as a miss)."""
+        with self._cache_lock:
+            self._cache_misses += 1
+            self._cache[key] = result
+            return _copy_result(result)
+
+    def worker_config(self) -> SimWorkerConfig:
+        """The picklable recipe process-pool workers rebuild this engine from."""
+        return SimWorkerConfig(
+            parameters=self.parameters,
+            pdn_names=tuple(self._spot.pdns),
+            baseline_name=self._baseline_name,
+        )
+
+    def prime_for_execution(self, units: Iterable[Tuple[str, SimPoint, OverrideKey]]) -> None:
+        """Build every lazily built model the units need, up front.
+
+        Thread-pool workers treat the engine as read-only apart from the
+        locked caches; the expensive lazy state -- the FlexWatts Algorithm-1
+        predictor calibration, per override set -- is forced here on the
+        calling thread before any worker runs.
+        """
+        for name, _, overrides in units:
+            if name == FlexWattsPdn.name:
+                self._predictor_for(overrides)
+
+    def evaluate_uncached(
+        self, pdn_name: str, point: SimPoint, overrides: OverrideKey = ()
+    ) -> SimulationResult:
+        """Simulate one scenario on one PDN, bypassing the simulation memo.
+
+        The trace is rebuilt from the scenario registry (deterministic for a
+        given seed), the simulator batches its phases by operating point, and
+        static-PDN phase evaluations route through the engine's analytic
+        cache so operating points shared *between* scenarios are computed
+        once.  FlexWatts runs get a fresh mode-switch controller per
+        simulation -- adaptive state never leaks between grid points.
+        """
+        trace = build_scenario_trace(point.scenario, seed=point.seed)
+        simulator = IntervalSimulator(
+            tdp_w=point.tdp_w, trace_period_s=point.trace_period_s
+        )
+        if pdn_name == FlexWattsPdn.name:
+            pdn = FlexWattsPdn(
+                parameters=self._parameters_for(overrides),
+                predictor=self._predictor_for(overrides),
+                switch_controller=ModeSwitchController(),
+            )
+            return simulator.run(
+                trace, pdn, evaluate_in_mode=self._make_mode_evaluator(overrides)
+            )
+        pdn = self._spot.pdn(pdn_name)
+
+        def evaluate(
+            instance: object, conditions: OperatingConditions
+        ) -> PdnEvaluation:
+            """Serve the phase through the shared analytic memo cache."""
+            return self._spot.evaluate_cached(pdn_name, conditions, overrides)
+
+        return simulator.run(trace, pdn, evaluate=evaluate)
+
+    def evaluate_cached(
+        self, pdn_name: str, point: SimPoint, overrides: OverrideKey = ()
+    ) -> SimulationResult:
+        """Simulate one scenario on one PDN through the memo cache."""
+        if not self._cache_enabled:
+            return self.evaluate_uncached(pdn_name, point, overrides)
+        key = self.cache_key(pdn_name, point, overrides)
+        cached = self.cache_lookup(key)
+        if cached is not None:
+            return cached
+        result = self.evaluate_uncached(pdn_name, point, overrides)
+        return self.cache_install(key, result)
+
+    # ------------------------------------------------------------------ #
+    # Lazily built, override-keyed shared state
+    # ------------------------------------------------------------------ #
+    def _parameters_for(self, overrides: OverrideKey) -> PdnTechnologyParameters:
+        if not overrides:
+            return self.parameters
+        return self.parameters.with_overrides(**dict(overrides))
+
+    def _predictor_for(self, overrides: OverrideKey):
+        with self._cache_lock:
+            predictor = self._predictors.get(overrides)
+        if predictor is not None:
+            return predictor
+        # The calibration is deterministic, so two racing builders produce
+        # equivalent predictors; first one wins.  Without overrides the
+        # analytic engine's own FlexWatts instance shares its calibration.
+        if not overrides and FlexWattsPdn.name in self._spot.pdns:
+            predictor = self._spot.pdn(FlexWattsPdn.name).predictor
+        else:
+            predictor = FlexWattsPdn(
+                parameters=self._parameters_for(overrides)
+            ).predictor
+        with self._cache_lock:
+            return self._predictors.setdefault(overrides, predictor)
+
+    def _make_mode_evaluator(self, overrides: OverrideKey):
+        """Mode-forced evaluation hook backed by the cross-run memo.
+
+        With the engine cache disabled the hook computes directly (the
+        seed-equivalent cost model the cold benchmarks rely on); the
+        simulator's per-run memo still deduplicates repeats within a trace
+        either way.
+        """
+        if not self._cache_enabled:
+            return None  # IntervalSimulator falls back to direct evaluation
+
+        def evaluate_in_mode(
+            pdn: FlexWattsPdn, conditions: OperatingConditions, mode: PdnMode
+        ) -> PdnEvaluation:
+            """Serve one (point, mode) evaluation through the shared memo."""
+            key = (overrides, mode, conditions_key(conditions))
+            cached = self._mode_evaluations.get(key)
+            if cached is None:
+                cached = self._mode_evaluations.setdefault(
+                    key, pdn.evaluate_in_mode(conditions, mode)
+                )
+            return cached
+
+        return evaluate_in_mode
+
+    # ------------------------------------------------------------------ #
+    # Study execution
+    # ------------------------------------------------------------------ #
+    def evaluate_units(
+        self,
+        units: Iterable[Tuple[str, SimPoint, OverrideKey]],
+        executor: ExecutorLike = None,
+        jobs: Optional[int] = None,
+    ) -> List[SimulationResult]:
+        """Simulate ``(pdn_name, point, overrides)`` units, in order.
+
+        Exactly the contract of :meth:`PdnSpot.evaluate_units`: the default
+        serial path runs through :meth:`evaluate_cached`; a parallel backend
+        deduplicates, shards, merges worker results back into this engine's
+        memo cache and returns the results in canonical unit order.
+        """
+        backend = make_executor(executor, jobs=jobs)
+        if backend is None:
+            return [
+                self.evaluate_cached(name, point, overrides)
+                for name, point, overrides in units
+            ]
+        return backend.evaluate_units(self, units)
+
+    def run(
+        self,
+        study: SimStudy,
+        executor: ExecutorLike = None,
+        jobs: Optional[int] = None,
+    ) -> ResultSet:
+        """Execute a :class:`SimStudy` and return its summary results.
+
+        Points are simulated in grid order against every instantiated PDN
+        (or the study's ``pdn_names`` restriction); the returned
+        :class:`ResultSet` holds one summary row per ``(point, pdn)``
+        simulation, in canonical grid order regardless of the backend --
+        a parallel run is bit-identical to the serial one.
+        """
+        names = (
+            study.pdn_names if study.pdn_names is not None else tuple(self._spot.pdns)
+        )
+        for name in names:
+            self._spot.pdn(name)  # fail fast on unknown PDNs
+        units = [
+            (name, point, point.overrides)
+            for point in study.points
+            for name in names
+        ]
+        results = self.evaluate_units(units, executor=executor, jobs=jobs)
+        records: List[Record] = []
+        cursor = 0
+        for point in study.points:
+            identity = point.record_fields()
+            for _ in names:
+                records.append(simulation_record(results[cursor], identity))
+                cursor += 1
+        return ResultSet.from_records(records, name=study.name)
+
+
+def run_sim(
+    study: SimStudy,
+    engine: Optional[SimEngine] = None,
+    parameters: Optional[PdnTechnologyParameters] = None,
+    executor: ExecutorLike = None,
+    jobs: Optional[int] = None,
+) -> ResultSet:
+    """Execute ``study`` and return its summary :class:`ResultSet`.
+
+    The convenience entry point behind the CLI ``simulate`` sub-command:
+    builds a default :class:`SimEngine` (or uses the supplied one) and
+    forwards ``executor``/``jobs`` to the execution backend.
+    """
+    if engine is not None and parameters is not None:
+        raise ConfigurationError(
+            "pass either a prebuilt engine or parameters, not both"
+        )
+    if engine is None:
+        engine = SimEngine(parameters=parameters)
+    return engine.run(study, executor=executor, jobs=jobs)

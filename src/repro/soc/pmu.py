@@ -18,7 +18,7 @@ paper relies on, and which this model provides, are:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.power.domains import DomainKind, WorkloadType
 from repro.power.power_states import PackageCState
@@ -93,6 +93,7 @@ class PowerManagementUnit:
             kind: _DomainActivity() for kind in DomainKind
         }
         self._time_s = 0.0
+        self._telemetry_listeners: List[Callable[[PmuTelemetry], None]] = []
 
     # ------------------------------------------------------------------ #
     # Configuration / clock
@@ -202,6 +203,41 @@ class PowerManagementUnit:
             workload_type=self.classify_workload(),
             power_state=self._power_state,
         )
+
+    @property
+    def has_telemetry_listeners(self) -> bool:
+        """Whether any telemetry listener is registered.
+
+        Emitters on hot paths (the interval simulator emits per phase) check
+        this first so snapshots are only built when someone is listening.
+        """
+        return bool(self._telemetry_listeners)
+
+    def add_telemetry_listener(
+        self, listener: Callable[[PmuTelemetry], None]
+    ) -> None:
+        """Register a callback invoked on every telemetry emission.
+
+        The interval simulator emits one snapshot per simulated workload phase
+        (:meth:`emit_telemetry`), which is how scenario analyses observe the
+        PMU-visible trajectory of a trace without instrumenting the engine.
+        """
+        self._telemetry_listeners.append(listener)
+
+    def emit_telemetry(
+        self, telemetry: Optional[PmuTelemetry] = None
+    ) -> PmuTelemetry:
+        """Notify every listener of a telemetry snapshot and return it.
+
+        With no explicit ``telemetry`` the PMU's own :meth:`telemetry`
+        snapshot is emitted; callers that know the operating point exactly
+        (the interval simulator, whose phases are analytic) pass the oracle
+        snapshot instead.
+        """
+        snapshot = telemetry if telemetry is not None else self.telemetry()
+        for listener in self._telemetry_listeners:
+            listener(snapshot)
+        return snapshot
 
     # ------------------------------------------------------------------ #
     # Validation helpers

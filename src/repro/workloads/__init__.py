@@ -17,6 +17,9 @@ and performance scalability.
   package power-state residencies.
 * :mod:`repro.workloads.synthetic` -- seeded trace generators (including the
   power-virus trace) used by the validation experiments and property tests.
+* :mod:`repro.workloads.scenarios` -- the registry of named, seeded scenario
+  trace generators the simulation studies (:mod:`repro.sim.study`) and the
+  CLI ``simulate`` sub-command dispatch over.
 """
 
 from repro.workloads.base import Benchmark, WorkloadPhase, WorkloadTrace
@@ -28,6 +31,13 @@ from repro.workloads.battery_life import (
     battery_life_suite,
 )
 from repro.workloads.synthetic import SyntheticTraceGenerator, power_virus_benchmark
+from repro.workloads.scenarios import (
+    ScenarioSpec,
+    available_scenarios,
+    build_scenario_trace,
+    get_scenario,
+    register_scenario,
+)
 
 __all__ = [
     "Benchmark",
@@ -42,4 +52,9 @@ __all__ = [
     "battery_life_suite",
     "SyntheticTraceGenerator",
     "power_virus_benchmark",
+    "ScenarioSpec",
+    "available_scenarios",
+    "build_scenario_trace",
+    "get_scenario",
+    "register_scenario",
 ]

@@ -280,16 +280,26 @@ class TestSeedEquivalence:
 
     def test_deprecated_shims_warn_and_match_seed(self):
         pdns = [build_pdn("IVR"), build_pdn("MBVR")]
-        with pytest.warns(DeprecationWarning):
+        with pytest.warns(DeprecationWarning, match="migration guide"):
             via_shim = sweep_tdp(pdns, (4.0, 18.0))
         assert via_shim == seed_sweep_tdp(pdns, (4.0, 18.0))
-        with pytest.warns(DeprecationWarning):
+        with pytest.warns(DeprecationWarning, match="migration guide"):
             via_shim = sweep_application_ratio(pdns, (0.4, 0.8), 18.0)
         seed = seed_sweep_tdp(pdns, (18.0,), 0.4) + seed_sweep_tdp(pdns, (18.0,), 0.8)
         assert via_shim == seed
-        with pytest.warns(DeprecationWarning):
+        with pytest.warns(DeprecationWarning, match="migration guide"):
             via_shim = sweep_power_states(pdns, 18.0)
         assert via_shim == seed_sweep_power_states(pdns, 18.0)
+
+    def test_deprecation_warning_names_the_docs_page(self):
+        from repro.analysis.sweep import MIGRATION_GUIDE
+
+        pdns = [build_pdn("IVR")]
+        with pytest.warns(DeprecationWarning) as captured:
+            sweep_tdp(pdns, (4.0,))
+        message = str(captured[0].message)
+        assert MIGRATION_GUIDE in message
+        assert "docs/guides/migration.md" in message
 
     def test_shims_keep_duplicate_named_instances(self):
         # Legacy what-if pattern: two same-named instances with different

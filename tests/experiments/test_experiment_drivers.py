@@ -128,3 +128,42 @@ class TestFig7AndFig8:
         for record in bom + area:
             assert record["MBVR"] > record["FlexWatts"]
             assert record["LDO"] > record["I+MBVR"]
+
+
+class TestSimScenarios:
+    def test_resultset_covers_the_grid(self):
+        from repro.experiments import sim_scenarios
+
+        results = sim_scenarios.scenario_resultset(
+            scenarios=("race-to-idle",), tdps_w=(4.0,)
+        )
+        assert len(results) == len(sim_scenarios.SIM_PDNS)
+        assert results.unique("scenario") == ["race-to-idle"]
+
+    def test_formatting_normalises_to_ivr(self):
+        from repro.experiments import sim_scenarios
+
+        text = sim_scenarios.format_sim_scenarios()
+        assert "normalised to IVR" in text
+        assert "FW switches" in text
+        for scenario in ("bursty-interactive", "duty-cycled-background"):
+            assert scenario in text
+
+    def test_flexwatts_tracks_the_better_static_side(self):
+        """FlexWatts never draws more energy than the worse of its two modes."""
+        from repro.experiments import sim_scenarios
+        from repro.sim.adapters import SIM_METRIC_COLUMNS
+
+        results = sim_scenarios.scenario_resultset()
+        normalised = results.normalize_to(
+            "IVR",
+            value_columns=("total_energy_j",),
+            metric_columns=SIM_METRIC_COLUMNS,
+        )
+        by_point = {}
+        for record in normalised.to_records():
+            key = (record["scenario"], record["tdp_w"])
+            by_point.setdefault(key, {})[record["pdn"]] = record["total_energy_j"]
+        for cells in by_point.values():
+            worse_static = max(cells["I+MBVR"], cells["LDO"])
+            assert cells["FlexWatts"] <= worse_static + 0.02  # switch overhead

@@ -8,6 +8,7 @@ from repro.analysis.pdnspot import PdnSpot
 from repro.analysis.resultset import ResultSet
 from repro.cli import (
     build_parser,
+    build_simulate_study,
     build_sweep_study,
     main,
     run_battery_life,
@@ -16,6 +17,7 @@ from repro.cli import (
     run_export,
     run_performance,
     run_predict,
+    run_simulate,
     run_sweep,
 )
 from repro.power.domains import WorkloadType
@@ -177,6 +179,73 @@ class TestParallelFlags:
     def test_main_invalid_jobs_is_user_error(self, capsys):
         assert main(["sweep", "--tdps", "4", "--jobs", "0"]) == 1
         assert "jobs" in capsys.readouterr().err
+
+
+class TestSimulateCommand:
+    def test_parser_accepts_simulate_flags(self):
+        args = build_parser().parse_args(
+            [
+                "simulate",
+                "--scenario", "bursty-interactive", "race-to-idle",
+                "--tdps", "4", "50",
+                "--seed", "7",
+                "--jobs", "4",
+                "--format", "json",
+            ]
+        )
+        assert args.scenario == ["bursty-interactive", "race-to-idle"]
+        assert args.tdps == [4.0, 50.0]
+        assert args.seed == 7
+        assert args.jobs == 4
+
+    def test_unknown_scenario_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--scenario", "nonsense"])
+
+    def test_build_simulate_study_defaults_to_all_scenarios(self):
+        from repro.workloads.scenarios import available_scenarios
+
+        study = build_simulate_study()
+        assert len(study) == len(available_scenarios())
+        assert study.points[0].tdp_w == 18.0
+
+    def test_simulate_table_lists_every_pdn(self):
+        text = run_simulate(
+            scenarios=["race-to-idle"], pdns=["IVR", "FlexWatts"]
+        )
+        assert "Scenario simulation" in text
+        assert "IVR" in text and "FlexWatts" in text
+        assert "race-to-idle" in text
+
+    def test_simulate_json_round_trips(self):
+        payload = run_simulate(scenarios=["race-to-idle"], output_format="json")
+        resultset = ResultSet.from_json(payload)
+        assert len(resultset) == 5  # one row per PDN
+        assert resultset.unique("scenario") == ["race-to-idle"]
+
+    def test_parallel_simulate_output_bit_identical_to_serial(self):
+        """The acceptance criterion: --jobs 4 JSON equals the serial JSON."""
+        serial = run_simulate(
+            scenarios=["bursty-interactive"], output_format="json"
+        )
+        parallel = run_simulate(
+            scenarios=["bursty-interactive"], output_format="json", jobs=4
+        )
+        assert parallel == serial
+
+    def test_main_simulate_exit_code(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--scenario", "duty-cycled-background",
+                    "--pdns", "IVR",
+                    "--format", "csv",
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out.startswith("pdn,")
 
 
 class TestExportCommand:

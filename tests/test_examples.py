@@ -1,0 +1,55 @@
+"""Smoke tests: every documented example script must run headlessly.
+
+The ``examples/`` directory is part of the documented surface (the docs site
+cross-links each script as an executable guide), so CI runs each one end to
+end: a clean exit and non-trivial stdout, with no plotting or network
+dependencies.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_every_example_is_covered():
+    """The parametrised list below must track the examples directory."""
+    assert EXAMPLE_SCRIPTS, "examples/ directory is empty or missing"
+    assert {path.name for path in EXAMPLE_SCRIPTS} == {
+        "adaptive_runtime.py",
+        "battery_life_study.py",
+        "design_space_exploration.py",
+        "quickstart.py",
+        "scenario_sweep.py",
+    }
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=[path.stem for path in EXAMPLE_SCRIPTS]
+)
+def test_example_runs_headlessly(script):
+    environment = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = environment.get("PYTHONPATH")
+    environment["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=REPO_ROOT,
+        env=environment,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} failed:\n{completed.stderr}"
+    )
+    assert len(completed.stdout.splitlines()) >= 5, (
+        f"{script.name} printed almost nothing:\n{completed.stdout}"
+    )

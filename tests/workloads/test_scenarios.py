@@ -1,0 +1,145 @@
+"""Tests for the scenario trace-generator registry."""
+
+import pytest
+
+from repro.power.power_states import PackageCState
+from repro.util.errors import ConfigurationError
+from repro.workloads.base import WorkloadTrace
+from repro.sim.engine import telemetry_profile
+from repro.workloads.scenarios import (
+    DEFAULT_SEED,
+    ScenarioSpec,
+    available_scenarios,
+    build_scenario_trace,
+    get_scenario,
+    register_scenario,
+)
+
+EXPECTED_SCENARIOS = (
+    "bursty-interactive",
+    "idle-heavy-mobile",
+    "sustained-compute",
+    "mixed-compute-graphics",
+    "thermally-throttled",
+    "race-to-idle",
+    "dvfs-ladder",
+    "duty-cycled-background",
+)
+
+
+class TestRegistry:
+    def test_builtin_scenarios_registered_in_order(self):
+        assert available_scenarios() == EXPECTED_SCENARIOS
+
+    def test_get_scenario_has_summary(self):
+        for name in available_scenarios():
+            spec = get_scenario(name)
+            assert spec.name == name
+            assert spec.summary
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            get_scenario("quantum-annealing")
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_scenario("race-to-idle")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_scenario(spec)
+
+    def test_custom_registration_and_replace(self):
+        def build(rng):
+            return build_scenario_trace("race-to-idle")
+
+        spec = ScenarioSpec(name="custom-test", summary="test only", build=build)
+        try:
+            register_scenario(spec)
+            assert "custom-test" in available_scenarios()
+            register_scenario(spec, replace=True)  # idempotent with replace
+        finally:
+            from repro.workloads import scenarios
+
+            scenarios._SCENARIOS.pop("custom-test", None)
+
+
+class TestTraceGeneration:
+    @pytest.mark.parametrize("name", EXPECTED_SCENARIOS)
+    def test_traces_are_valid_and_timed(self, name):
+        trace = build_scenario_trace(name)
+        assert isinstance(trace, WorkloadTrace)
+        assert trace.name == name
+        total_residency = sum(phase.residency for phase in trace.phases)
+        assert total_residency == pytest.approx(1.0)
+        # Every phase carries an explicit duration (the simulator never needs
+        # the residency fallback for scenario traces).
+        assert all(phase.duration_s is not None for phase in trace.phases)
+        assert all(phase.duration_s > 0.0 for phase in trace.phases)
+
+    @pytest.mark.parametrize("name", EXPECTED_SCENARIOS)
+    def test_same_seed_reproduces_the_trace_exactly(self, name):
+        assert build_scenario_trace(name, seed=7) == build_scenario_trace(name, seed=7)
+
+    def test_different_seeds_differ(self):
+        first = build_scenario_trace("bursty-interactive", seed=1)
+        second = build_scenario_trace("bursty-interactive", seed=2)
+        assert first != second
+
+    def test_default_seed_is_stable_constant(self):
+        assert build_scenario_trace("race-to-idle") == build_scenario_trace(
+            "race-to-idle", seed=DEFAULT_SEED
+        )
+
+    def test_duty_cycled_background_has_three_distinct_operating_points(self):
+        trace = build_scenario_trace("duty-cycled-background")
+        distinct = {
+            (phase.power_state, phase.benchmark, phase.duration_s)
+            for phase in trace.phases
+        }
+        assert len(distinct) == 3
+
+    def test_dvfs_ladder_revisits_every_operating_point(self):
+        trace = build_scenario_trace("dvfs-ladder")
+        active = [p.benchmark for p in trace.phases if p.benchmark is not None]
+        assert len(active) == 18  # 9 steps up + 9 down
+        assert active == active[:9] + list(reversed(active[:9]))
+
+
+class TestTelemetryProfile:
+    def test_one_snapshot_per_nonzero_phase(self):
+        trace = build_scenario_trace("idle-heavy-mobile")
+        snapshots = telemetry_profile(trace, tdp_w=18.0)
+        assert len(snapshots) == len(trace.phases)
+        assert all(snapshot.tdp_w == 18.0 for snapshot in snapshots)
+
+    def test_active_snapshots_carry_benchmark_features(self):
+        trace = build_scenario_trace("sustained-compute")
+        snapshots = telemetry_profile(trace, tdp_w=18.0)
+        for phase, snapshot in zip(trace.phases, snapshots):
+            assert snapshot.power_state is phase.power_state
+            if phase.benchmark is not None:
+                assert snapshot.application_ratio == pytest.approx(
+                    phase.benchmark.application_ratio
+                )
+                assert snapshot.workload_type is phase.benchmark.workload_type
+
+    def test_matches_the_simulator_emissions(self):
+        """The profile helper predicts exactly what the PMU hook emits."""
+        from repro.pdn.ivr import IvrPdn
+        from repro.sim.engine import IntervalSimulator
+        from repro.soc.pmu import PowerManagementUnit
+
+        trace = build_scenario_trace("bursty-interactive")
+        pmu = PowerManagementUnit(tdp_w=18.0)
+        emitted = []
+        pmu.add_telemetry_listener(emitted.append)
+        IntervalSimulator(tdp_w=18.0).run(trace, IvrPdn(), pmu=pmu)
+        assert emitted == telemetry_profile(trace, tdp_w=18.0)
+
+    def test_idle_phases_use_power_state_profile(self):
+        trace = build_scenario_trace("idle-heavy-mobile")
+        snapshots = telemetry_profile(trace, tdp_w=18.0)
+        deep_idle = [
+            snapshot
+            for snapshot in snapshots
+            if snapshot.power_state is PackageCState.C8
+        ]
+        assert deep_idle
