@@ -1,0 +1,119 @@
+"""Benchmark E-OPT: the design-space exploration subsystem.
+
+Three benchmark columns track the optimizer's perf trajectory:
+
+* ``optimize`` / cold grid serial -- an exhaustive grid search over a
+  figure-scale space (5 topologies x 3 tolerance-band sizings, ~2600
+  analytic evaluation units through the default four objectives) with the
+  memo caches disabled: the seed-equivalent cost of one full search.
+* ``optimize`` / cold grid process -- the same search through the process
+  backend with 4 jobs; the outcome is asserted bit-identical.
+* ``optimize`` / warm random search -- a seeded random search against a
+  pre-warmed evaluator: every candidate resolves from the memo caches.
+  Gated by ``tools/check_bench_regression.py`` relative to the cold serial
+  column from the same run, so the gate tracks the search overhead on top
+  of the caches rather than the runner's absolute speed.
+"""
+
+import pytest
+
+from repro.optimize import (
+    CandidateEvaluator,
+    DesignSpace,
+    resolve_objectives,
+    run_optimization,
+)
+
+#: The figure-scale search space: every topology x tolerance-band sizing.
+SPACE_PDNS = ("IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts")
+TOLERANCE_BANDS_V = (0.015, 0.020, 0.025)
+
+#: Candidates of the space (and rows of the grid-search result set).
+CANDIDATES = len(SPACE_PDNS) * len(TOLERANCE_BANDS_V)
+
+#: Budget and seed of the warm random-search column.
+RANDOM_BUDGET = 10
+SEED = 0
+
+#: Worker count of the parallel benchmark column (the acceptance point).
+PARALLEL_JOBS = 4
+
+
+def _space() -> DesignSpace:
+    return (
+        DesignSpace.builder("bench-optimize")
+        .pdns(*SPACE_PDNS)
+        .parameter("ivr_tolerance_band_v", *TOLERANCE_BANDS_V)
+        .build()
+    )
+
+
+@pytest.fixture(scope="module")
+def grid_reference():
+    """The cached-engine grid outcome the cold runs must reproduce."""
+    return run_optimization(_space())
+
+
+@pytest.mark.benchmark(group="optimize")
+def test_bench_optimize_grid_cold_serial(benchmark, grid_reference):
+    evaluator = CandidateEvaluator(resolve_objectives(), enable_cache=False)
+    evaluator.spot.pdn("FlexWatts").predictor  # calibrate outside the timing
+    outcome = benchmark.pedantic(
+        run_optimization,
+        args=(_space(),),
+        kwargs={"evaluator": evaluator},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(outcome.results) == CANDIDATES
+    assert outcome.results == grid_reference.results
+    assert outcome.knee_pdn == "FlexWatts"
+
+
+@pytest.mark.benchmark(group="optimize")
+def test_bench_optimize_grid_cold_process(benchmark, grid_reference):
+    """The parallel cold search: units sharded across 4 worker processes.
+
+    Worker start-up (fork plus predictor calibration) is part of the timed
+    section -- the real cost of ``optimize --jobs 4`` -- so the comparison
+    against the serial column is honest; the outcome is asserted
+    bit-identical regardless.
+    """
+    evaluator = CandidateEvaluator(resolve_objectives(), enable_cache=False)
+    outcome = benchmark.pedantic(
+        run_optimization,
+        args=(_space(),),
+        kwargs={
+            "evaluator": evaluator,
+            "executor": "process",
+            "jobs": PARALLEL_JOBS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    assert len(outcome.results) == CANDIDATES
+    assert outcome.results == grid_reference.results
+
+
+@pytest.mark.benchmark(group="optimize")
+def test_bench_optimize_random_warm(benchmark, grid_reference):
+    """The memo-cached search: every candidate served as cache hits.
+
+    A full grid run warms the shared evaluator first, so the timed random
+    search measures pure search/Pareto overhead on top of the caches --
+    the quantity the CI regression gate tracks.
+    """
+    evaluator = CandidateEvaluator(resolve_objectives())
+    run_optimization(_space(), evaluator=evaluator)  # warm every candidate
+    outcome = benchmark(
+        run_optimization,
+        _space(),
+        strategy="random",
+        budget=RANDOM_BUDGET,
+        seed=SEED,
+        evaluator=evaluator,
+    )
+    assert len(outcome.results) == RANDOM_BUDGET
+    assert evaluator.spot.cache_info().hits > 0
+    front_pdns = set(grid_reference.front.unique("pdn"))
+    assert "FlexWatts" in front_pdns

@@ -9,8 +9,9 @@ The library has two halves, mirroring the paper:
 * **PDNspot** -- the exploration framework: voltage-regulator and PDN models
   (:mod:`repro.vr`, :mod:`repro.pdn`), the power/performance substrate
   (:mod:`repro.power`, :mod:`repro.soc`, :mod:`repro.perf`), cost models
-  (:mod:`repro.cost`), workloads (:mod:`repro.workloads`) and the analysis
-  facade (:mod:`repro.analysis`).
+  (:mod:`repro.cost`), workloads (:mod:`repro.workloads`), the analysis
+  facade (:mod:`repro.analysis`) and the multi-objective design-space
+  search (:mod:`repro.optimize`).
 * **FlexWatts** -- the hybrid adaptive PDN itself (:mod:`repro.core`):
   hybrid IVR/LDO regulators, the Algorithm-1 mode predictor, the
   voltage-noise-free mode-switch flow, and the runtime input estimator,
@@ -40,6 +41,12 @@ from repro.analysis.pdnspot import CacheInfo, PdnSpot
 from repro.analysis.resultset import ResultSet
 from repro.analysis.study import Scenario, Study, StudyBuilder
 from repro.core.flexwatts import FlexWattsPdn
+from repro.optimize import (
+    DesignPoint,
+    DesignSpace,
+    OptimizationOutcome,
+    run_optimization,
+)
 from repro.core.hybrid_vr import PdnMode
 from repro.pdn.base import OperatingConditions, PdnEvaluation
 from repro.pdn.registry import available_pdns, build_pdn
@@ -56,7 +63,7 @@ from repro.sim import (
 )
 from repro.workloads.scenarios import available_scenarios, build_scenario_trace
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "PdnSpot",
@@ -90,5 +97,9 @@ __all__ = [
     "run_sim",
     "available_scenarios",
     "build_scenario_trace",
+    "DesignPoint",
+    "DesignSpace",
+    "OptimizationOutcome",
+    "run_optimization",
     "__version__",
 ]

@@ -23,7 +23,7 @@ import io
 import json
 from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, NormalizationError
 
 
 class _Missing:
@@ -252,6 +252,15 @@ class ResultSet:
         different metric schema (e.g. the interval-simulation output, whose
         mode-switch counters also vary per PDN) pass their own metric set --
         see :data:`repro.sim.adapters.SIM_METRIC_COLUMNS`.
+
+        Raises
+        ------
+        NormalizationError
+            When a scenario has no baseline row, or the baseline row's value
+            is missing, zero or NaN -- naming the offending baseline key,
+            column and scenario instead of propagating a
+            ``ZeroDivisionError`` or silently emitting NaN cells.  The error
+            is a ``ValueError`` subclass (and a ``ConfigurationError``).
         """
         if key_column not in self._columns:
             raise ConfigurationError(f"key column {key_column!r} not in result set")
@@ -288,7 +297,7 @@ class ResultSet:
         for index in range(self._length):
             reference = references.get(group_key(index))
             if reference is None:
-                raise ConfigurationError(
+                raise NormalizationError(
                     f"no {key_column}={baseline!r} row for scenario {group_key(index)!r}"
                 )
             for column in value_columns:
@@ -299,13 +308,22 @@ class ResultSet:
                 if reference_value is MISSING:
                     # Leaving the absolute value would silently mix raw and
                     # normalised cells in one column.
-                    raise ConfigurationError(
-                        f"baseline row for scenario {group_key(index)!r} has no "
-                        f"{column!r} value; cannot normalise"
+                    raise NormalizationError(
+                        f"baseline {key_column}={baseline!r} row for scenario "
+                        f"{group_key(index)!r} has no {column!r} value; "
+                        "cannot normalise"
                     )
                 if reference_value == 0.0:
-                    raise ConfigurationError(
-                        f"baseline value of {column!r} is zero; cannot normalise"
+                    raise NormalizationError(
+                        f"baseline {key_column}={baseline!r} value of {column!r} "
+                        f"for scenario {group_key(index)!r} is zero; "
+                        "cannot normalise"
+                    )
+                if isinstance(reference_value, float) and reference_value != reference_value:
+                    raise NormalizationError(
+                        f"baseline {key_column}={baseline!r} value of {column!r} "
+                        f"for scenario {group_key(index)!r} is NaN; "
+                        "cannot normalise"
                     )
                 normalised[column][index] = cell / reference_value
         return ResultSet(normalised, name=self.name)

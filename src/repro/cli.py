@@ -12,6 +12,7 @@ The CLI exposes the most common analyses without writing any Python::
     python -m repro sweep --tdps 4 18 50 --ars 0.4 0.56 --jobs 4
     python -m repro export fig3 --format json --output fig3.json
     python -m repro simulate --scenario bursty-interactive --jobs 4 --format json
+    python -m repro optimize --strategy random --budget 12 --seed 7 --jobs 4
 
 Every sub-command prints a plain-text table by default (no plotting
 dependency); ``--json`` (and ``--format json|csv`` on ``sweep``/``export``)
@@ -27,10 +28,18 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 from repro.analysis.executor import EXECUTORS, ExecutorLike
 from repro.analysis.pdnspot import PdnSpot
+from repro.optimize import (
+    DEFAULT_OBJECTIVES,
+    OBJECTIVES,
+    STRATEGIES,
+    DesignSpace,
+    EvaluationSettings,
+    run_optimization,
+)
 from repro.analysis.reporting import format_mapping_table, format_table
 from repro.analysis.resultset import MISSING, ResultSet
 from repro.analysis.study import Study
@@ -40,7 +49,7 @@ from repro.pdn.base import OperatingConditions
 from repro.power.domains import WorkloadType
 from repro.power.power_states import PackageCState
 from repro.sim.study import SimStudy, run_sim
-from repro.util.errors import ReproError
+from repro.util.errors import ConfigurationError, ReproError
 from repro.workloads.graphics import THREEDMARK06_BENCHMARKS
 from repro.workloads.scenarios import DEFAULT_SEED, available_scenarios
 from repro.workloads.spec_cpu2006 import SPEC_CPU2006_BENCHMARKS
@@ -81,11 +90,27 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _package_version() -> str:
+    """The version of the code actually running.
+
+    ``repro.__version__`` is the single source of truth -- the distribution
+    metadata is *derived* from it at build time (``pyproject.toml``'s
+    dynamic version), so reading the attribute always matches the running
+    code even when a stale wheel is installed alongside a newer checkout.
+    """
+    from repro import __version__
+
+    return __version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="FlexWatts / PDNspot reproduction command-line interface",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -186,6 +211,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--output", default=None, help="write to this file instead of stdout")
     _add_executor_flags(simulate)
+
+    optimize = subparsers.add_parser(
+        "optimize",
+        help="search PDN designs against multiple objectives and extract the "
+        "Pareto front",
+    )
+    optimize.add_argument(
+        "--objectives", nargs="+", choices=sorted(OBJECTIVES),
+        default=list(DEFAULT_OBJECTIVES), metavar="NAME",
+        help="objectives to optimise (default: "
+        + " ".join(DEFAULT_OBJECTIVES)
+        + "; available: " + ", ".join(sorted(OBJECTIVES)) + ")",
+    )
+    optimize.add_argument(
+        "--strategy", choices=sorted(STRATEGIES), default="grid",
+        help="search strategy (default: grid; random and evolutionary are "
+        "seeded and reproducible)",
+    )
+    optimize.add_argument(
+        "--budget", type=int, default=None, metavar="N",
+        help="candidate budget (default: exhaustive for grid, 16 for the "
+        "sampling strategies)",
+    )
+    optimize.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed of the sampling strategies (default: 0)",
+    )
+    optimize.add_argument(
+        "--pdns", nargs="+", default=None,
+        help="topology axis of the design space (default: every registered PDN)",
+    )
+    optimize.add_argument(
+        "--param", action="append", default=None, metavar="NAME=V1,V2,...",
+        help="add a technology-parameter axis (component sizing), e.g. "
+        "--param ivr_tolerance_band_v=0.015,0.020,0.025; repeatable",
+    )
+    optimize.add_argument(
+        "--tdps", type=float, nargs="+", default=None, metavar="W",
+        help="TDP set candidates are judged under (default: 4 18 50)",
+    )
+    optimize.add_argument(
+        "--scenario", nargs="+", choices=available_scenarios(), default=None,
+        metavar="NAME",
+        help="scenario traces behind the power/energy objectives "
+        "(default: bursty-interactive)",
+    )
+    optimize.add_argument(
+        "--format", choices=("table", "json", "csv"), default="table",
+        help="output format (default: table)",
+    )
+    optimize.add_argument("--output", default=None, help="write to this file instead of stdout")
+    _add_executor_flags(optimize)
 
     export = subparsers.add_parser(
         "export", help="export a paper-figure dataset as JSON or CSV"
@@ -402,6 +479,111 @@ def run_simulate(
     return _render(resultset, output_format, title="Scenario simulation")
 
 
+def parse_parameter_axes(specs: Optional[Sequence[str]]) -> list:
+    """Parse repeated ``--param NAME=V1,V2,...`` flags into axis pairs.
+
+    Raises :class:`ReproError` (rendered as a clean ``error: ...`` line by
+    ``main``) on a malformed spec or a non-numeric value -- every scalar
+    technology parameter is numeric, so string tokens are always typos.
+    """
+    axes = []
+    for spec in specs or ():
+        name, separator, values = spec.partition("=")
+        if not separator or not name or not values:
+            raise ConfigurationError(
+                f"invalid --param {spec!r}; expected NAME=V1,V2,..."
+            )
+        parsed = []
+        for token in values.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            try:
+                parsed.append(float(token))
+            except ValueError:
+                raise ConfigurationError(
+                    f"--param {spec!r} value {token!r} is not a number"
+                ) from None
+        if not parsed:
+            raise ConfigurationError(f"--param {spec!r} lists no values")
+        axes.append((name, parsed))
+    return axes
+
+
+def build_optimize_space(
+    pdns: Optional[Sequence[str]] = None,
+    param_axes: Optional[Sequence[Tuple[str, Sequence[object]]]] = None,
+) -> DesignSpace:
+    """Assemble the CLI ``optimize`` flags into a :class:`DesignSpace`."""
+    builder = DesignSpace.builder("cli-optimize")
+    if pdns:
+        builder.pdns(*pdns)
+    for name, values in param_axes or ():
+        builder.parameter(name, *values)
+    return builder.build()
+
+
+def run_optimize(
+    pdns: Optional[Sequence[str]] = None,
+    param_specs: Optional[Sequence[str]] = None,
+    objectives: Optional[Sequence[str]] = None,
+    strategy: str = "grid",
+    budget: Optional[int] = None,
+    seed: int = 0,
+    tdps: Optional[Sequence[float]] = None,
+    scenarios: Optional[Sequence[str]] = None,
+    output_format: str = "table",
+    executor: ExecutorLike = None,
+    jobs: Optional[int] = None,
+) -> str:
+    """Run a design-space search and render the annotated result set.
+
+    The evaluated candidates (with ``pareto``/``knee`` marker columns) are
+    rendered through the same ``--format`` writers as ``sweep``/``export``;
+    the table format appends the front and the knee-point recommendation.
+    """
+    space = build_optimize_space(pdns, parse_parameter_axes(param_specs))
+    settings_kwargs = {}
+    if tdps:
+        settings_kwargs["tdps_w"] = tuple(tdps)
+    if scenarios:
+        settings_kwargs["scenarios"] = tuple(scenarios)
+    settings = EvaluationSettings(**settings_kwargs) if settings_kwargs else None
+    outcome = run_optimization(
+        space,
+        objectives=objectives,
+        strategy=strategy,
+        budget=budget,
+        seed=seed,
+        settings=settings,
+        executor=executor,
+        jobs=jobs,
+    )
+    rendered = _render(
+        outcome.results,
+        output_format,
+        title=f"Design-space search ({outcome.strategy})",
+    )
+    if output_format != "table":
+        return rendered
+
+    def candidate_label(record) -> str:
+        """One candidate's display label: the PDN plus its sizing, if any."""
+        label = str(record["pdn"])
+        if "parameters" in record:
+            label += f" {record['parameters']}"
+        return label
+
+    front_labels = ", ".join(
+        candidate_label(record) for record in outcome.front.to_records()
+    )
+    footer = (
+        f"Pareto front: {front_labels}\n"
+        f"Knee point (balanced pick): {candidate_label(outcome.knee)}"
+    )
+    return f"{rendered}\n\n{footer}"
+
+
 def export_dataset(
     dataset: str, executor: ExecutorLike = None, jobs: Optional[int] = None
 ) -> ResultSet:
@@ -479,6 +661,24 @@ def _dispatch(args: argparse.Namespace) -> int:
         _emit(
             run_export(
                 args.dataset, args.format, executor=args.executor, jobs=args.jobs
+            ),
+            args.output,
+        )
+        return 0
+    if args.command == "optimize":
+        _emit(
+            run_optimize(
+                pdns=args.pdns,
+                param_specs=args.param,
+                objectives=args.objectives,
+                strategy=args.strategy,
+                budget=args.budget,
+                seed=args.seed,
+                tdps=args.tdps,
+                scenarios=args.scenario,
+                output_format=args.format,
+                executor=args.executor,
+                jobs=args.jobs,
             ),
             args.output,
         )

@@ -16,6 +16,8 @@ Module                      Paper artifact
 ``fig5_loss_breakdown``     Fig. 5 PDN loss breakdown at 4/18/50 W
 ``fig7_spec_4w``            Fig. 7 per-benchmark SPEC CPU2006 performance @4 W
 ``fig8_evaluation``         Fig. 8(a-e) SPEC/3DMark/battery-life/BOM/area
+``sim_scenarios``           Scenario simulations across the five PDNs
+``optimize_pdn``            The design conclusion as a Pareto/knee result
 ``runner``                  Runs every experiment and collects the outputs
 ==========================  ====================================================
 """
@@ -27,6 +29,7 @@ from repro.experiments import (
     fig5_loss_breakdown,
     fig7_spec_4w,
     fig8_evaluation,
+    optimize_pdn,
 )
 from repro.experiments.runner import run_all_experiments
 
@@ -37,5 +40,6 @@ __all__ = [
     "fig5_loss_breakdown",
     "fig7_spec_4w",
     "fig8_evaluation",
+    "optimize_pdn",
     "run_all_experiments",
 ]

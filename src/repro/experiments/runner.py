@@ -18,6 +18,7 @@ from repro.experiments import (
     fig5_loss_breakdown,
     fig7_spec_4w,
     fig8_evaluation,
+    optimize_pdn,
     sim_scenarios,
 )
 
@@ -55,6 +56,9 @@ def run_all_experiments(
         "fig7": fig7_spec_4w.format_figure7(spot=spot, executor=executor, jobs=jobs),
         "fig8": fig8_evaluation.format_figure8(spot=spot, executor=executor, jobs=jobs),
         "sim": sim_scenarios.format_sim_scenarios(executor=executor, jobs=jobs),
+        "optimize": optimize_pdn.format_optimize(
+            spot=spot, executor=executor, jobs=jobs
+        ),
     }
     if include_validation:
         outputs["fig4"] = fig4_validation.format_figure4(

@@ -1,0 +1,275 @@
+"""Pareto analysis over :class:`~repro.analysis.resultset.ResultSet` tables.
+
+The design-space search produces one result-set row per candidate with one
+column per objective; this module extracts the multi-objective structure the
+paper's conclusion rests on:
+
+* :func:`dominates` -- the Pareto dominance relation between two rows,
+* :func:`pareto_front` -- the non-dominated subset of a result set,
+* :func:`scalarize` -- weighted scalarisation into a single ``score`` column
+  (min-max normalised per objective, oriented so larger is better),
+* :func:`knee_point` -- the balanced pick on the front: the candidate closest
+  to the per-objective ideal after normalisation,
+* :func:`annotate` -- the result set with ``pareto``/``knee`` marker columns
+  for table display and JSON/CSV export.
+
+All functions are pure and deterministic: ties break towards the earlier row,
+normalisation treats a zero-range objective (every candidate equal) as
+contributing nothing, and the front is invariant under permutations of the
+objective order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.resultset import MISSING, Record, ResultSet
+from repro.optimize.objectives import Objective
+from repro.util.errors import ConfigurationError
+
+
+def _oriented_values(
+    resultset: ResultSet, objectives: Sequence[Objective]
+) -> List[Tuple[float, ...]]:
+    """Per-row objective vectors, sign-flipped so larger is always better."""
+    if not objectives:
+        raise ConfigurationError("pareto analysis needs at least one objective")
+    columns = {}
+    for objective in objectives:
+        if objective.column not in resultset.columns:
+            raise ConfigurationError(
+                f"objective column {objective.column!r} not in result set; "
+                f"available: {', '.join(resultset.columns)}"
+            )
+        columns[objective.column] = resultset.column(objective.column)
+    vectors: List[Tuple[float, ...]] = []
+    for index in range(len(resultset)):
+        vector = []
+        for objective in objectives:
+            cell = columns[objective.column][index]
+            if cell is MISSING or not isinstance(cell, (int, float)):
+                raise ConfigurationError(
+                    f"row {index} has no numeric {objective.column!r} value; "
+                    "cannot rank it"
+                )
+            value = float(cell)
+            if value != value:
+                # NaN compares false against everything, so it would slip
+                # through the dominance scan as spuriously Pareto-optimal
+                # and poison the knee normalisation -- reject it instead,
+                # mirroring ResultSet.normalize_to.
+                raise ConfigurationError(
+                    f"row {index} has a NaN {objective.column!r} value; "
+                    "cannot rank it"
+                )
+            vector.append(objective.oriented(value))
+        vectors.append(tuple(vector))
+    return vectors
+
+
+def _vector_dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Whether oriented vector ``a`` Pareto-dominates ``b``."""
+    return all(x >= y for x, y in zip(a, b)) and any(
+        x > y for x, y in zip(a, b)
+    )
+
+
+def dominates(
+    candidate: Record, other: Record, objectives: Sequence[Objective]
+) -> bool:
+    """Whether ``candidate`` Pareto-dominates ``other``.
+
+    ``candidate`` dominates when it is at least as good on every objective
+    and strictly better on at least one.  The relation is irreflexive and
+    asymmetric; equal rows dominate in neither direction.
+    """
+    if not objectives:
+        raise ConfigurationError("dominance needs at least one objective")
+
+    def vector(record: Record) -> Tuple[float, ...]:
+        """One record's oriented objective vector."""
+        values = []
+        for objective in objectives:
+            if objective.column not in record:
+                raise ConfigurationError(
+                    f"record has no {objective.column!r} value; cannot rank it"
+                )
+            value = float(record[objective.column])
+            if value != value:
+                # NaN compares false in both directions, which would make
+                # the relation silently vacuous -- same guard as the
+                # resultset-level functions.
+                raise ConfigurationError(
+                    f"record has a NaN {objective.column!r} value; "
+                    "cannot rank it"
+                )
+            values.append(objective.oriented(value))
+        return tuple(values)
+
+    return _vector_dominates(vector(candidate), vector(other))
+
+
+def _front_of(vectors: Sequence[Tuple[float, ...]]) -> List[int]:
+    """Indices of the non-dominated oriented vectors, in input order."""
+    front: List[int] = []
+    for index, vector in enumerate(vectors):
+        if not any(
+            _vector_dominates(other, vector)
+            for position, other in enumerate(vectors)
+            if position != index
+        ):
+            front.append(index)
+    return front
+
+
+def pareto_indices(
+    resultset: ResultSet, objectives: Sequence[Objective]
+) -> List[int]:
+    """Row indices of the Pareto-optimal candidates, in row order.
+
+    A row is kept when no other row dominates it.  Duplicate objective
+    vectors are all kept (they dominate each other in neither direction), so
+    the front is a subset of the input rows and does not depend on the order
+    the objectives are listed in.
+    """
+    return _front_of(_oriented_values(resultset, objectives))
+
+
+def pareto_front(
+    resultset: ResultSet, objectives: Sequence[Objective]
+) -> ResultSet:
+    """The non-dominated subset of ``resultset`` (row order preserved)."""
+    keep = set(pareto_indices(resultset, objectives))
+    columns = {
+        name: [
+            cell
+            for index, cell in enumerate(resultset.column(name))
+            if index in keep
+        ]
+        for name in resultset.columns
+    }
+    return ResultSet(columns, name=resultset.name)
+
+
+def _normalised_deficits(
+    vectors: Sequence[Tuple[float, ...]]
+) -> List[Tuple[float, ...]]:
+    """Per-row, per-objective distance from the best candidate, in [0, 1].
+
+    Each oriented objective is min-max normalised over the candidate set; a
+    zero-range objective (every candidate equal, e.g. a zero-area axis whose
+    values coincide) contributes a deficit of zero for every row rather than
+    dividing by zero.
+    """
+    dimensions = len(vectors[0])
+    best = [max(vector[axis] for vector in vectors) for axis in range(dimensions)]
+    worst = [min(vector[axis] for vector in vectors) for axis in range(dimensions)]
+    deficits: List[Tuple[float, ...]] = []
+    for vector in vectors:
+        row = []
+        for axis in range(dimensions):
+            span = best[axis] - worst[axis]
+            row.append((best[axis] - vector[axis]) / span if span > 0.0 else 0.0)
+        deficits.append(tuple(row))
+    return deficits
+
+
+def scalarize(
+    resultset: ResultSet,
+    objectives: Sequence[Objective],
+    weights: Optional[Mapping[str, float]] = None,
+    column: str = "score",
+) -> ResultSet:
+    """Append a weighted scalarisation column (larger is better).
+
+    Each objective is min-max normalised over the candidate set and oriented
+    so 1.0 is the best candidate and 0.0 the worst; the score is the
+    weighted average of the normalised values.  ``weights`` maps objective
+    *names* to non-negative weights (missing names default to 1.0); at least
+    one selected objective must have a positive weight.
+    """
+    weights = dict(weights) if weights else {}
+    unknown = set(weights) - {objective.name for objective in objectives}
+    if unknown:
+        raise ConfigurationError(
+            f"weights name objectives not selected: {', '.join(sorted(unknown))}"
+        )
+    factors = [weights.get(objective.name, 1.0) for objective in objectives]
+    if any(factor < 0.0 for factor in factors):
+        raise ConfigurationError("objective weights must be non-negative")
+    total = sum(factors)
+    if total <= 0.0:
+        raise ConfigurationError("at least one objective weight must be positive")
+    if not resultset:
+        raise ConfigurationError("cannot scalarize an empty result set")
+    vectors = _oriented_values(resultset, objectives)
+    deficits = _normalised_deficits(vectors)
+    scores = [
+        sum(factor * (1.0 - deficit) for factor, deficit in zip(factors, row))
+        / total
+        for row in deficits
+    ]
+    columns: Dict[str, List[object]] = {
+        name: resultset.column(name) for name in resultset.columns
+    }
+    columns[column] = scores
+    return ResultSet(columns, name=resultset.name)
+
+
+def _knee_of(vectors: Sequence[Tuple[float, ...]], front: Sequence[int]) -> int:
+    """The front index closest to the ideal point over normalised deficits."""
+    deficits = _normalised_deficits(vectors)
+    return min(
+        front,
+        key=lambda index: (
+            math.sqrt(sum(value * value for value in deficits[index])),
+            index,
+        ),
+    )
+
+
+def knee_point(
+    resultset: ResultSet, objectives: Sequence[Objective]
+) -> int:
+    """Row index of the knee point: the balanced pick on the Pareto front.
+
+    The knee is the front member closest (Euclidean distance over the
+    min-max-normalised objective deficits) to the *ideal point* -- the
+    imaginary candidate best on every objective at once.  Normalisation
+    spans the whole candidate set, so the pick reflects the trade-off range
+    the search actually explored; ties break towards the earlier row.
+    """
+    if not resultset:
+        raise ConfigurationError(
+            "cannot pick a knee point of an empty result set"
+        )
+    vectors = _oriented_values(resultset, objectives)
+    return _knee_of(vectors, _front_of(vectors))
+
+
+def annotate(
+    resultset: ResultSet,
+    objectives: Sequence[Objective],
+    pareto_column: str = "pareto",
+    knee_column: str = "knee",
+) -> ResultSet:
+    """The result set with boolean Pareto-front and knee-point markers.
+
+    The annotated set serialises through the regular
+    :meth:`~repro.analysis.resultset.ResultSet.to_json` /
+    :meth:`~repro.analysis.resultset.ResultSet.to_csv` writers, which is how
+    the CLI exports search outcomes.  The dominance scan runs once and both
+    markers derive from it.
+    """
+    if not resultset:
+        raise ConfigurationError("cannot annotate an empty result set")
+    vectors = _oriented_values(resultset, objectives)
+    front = set(_front_of(vectors))
+    knee = _knee_of(vectors, sorted(front))
+    columns: Dict[str, List[object]] = {
+        name: resultset.column(name) for name in resultset.columns
+    }
+    columns[pareto_column] = [index in front for index in range(len(resultset))]
+    columns[knee_column] = [index == knee for index in range(len(resultset))]
+    return ResultSet(columns, name=resultset.name)

@@ -1,0 +1,153 @@
+"""The design-space exploration entry point.
+
+:func:`run_optimization` ties the subsystem together: it resolves the
+objectives and the search strategy, drives the strategy over a
+:class:`~repro.optimize.space.DesignSpace` with a batch evaluator backed by
+the memo-cached engines, and assembles an :class:`OptimizationOutcome` --
+the evaluated candidates as an annotated
+:class:`~repro.analysis.resultset.ResultSet`, the Pareto front, and the
+knee-point pick.
+
+Example
+-------
+>>> from repro.optimize import DesignSpace, run_optimization
+>>> outcome = run_optimization(DesignSpace.over_pdns(["IVR", "FlexWatts"]))
+>>> "FlexWatts" in outcome.front.unique("pdn")
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.executor import ExecutorLike
+from repro.analysis.resultset import Record, ResultSet
+from repro.optimize.objectives import (
+    CandidateEvaluator,
+    EvaluationSettings,
+    Objective,
+    resolve_objectives,
+)
+from repro.optimize.pareto import annotate
+from repro.optimize.space import DesignPoint, DesignSpace
+from repro.optimize.strategies import Evaluated, make_strategy
+from repro.power.parameters import PdnTechnologyParameters
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class OptimizationOutcome:
+    """Everything a design-space search produced.
+
+    Attributes
+    ----------
+    results:
+        One row per evaluated candidate, in evaluation order, with the
+        objective columns plus boolean ``pareto``/``knee`` markers; ready
+        for JSON/CSV export through the regular result-set writers.
+    front:
+        The Pareto-optimal subset of ``results`` (markers included).
+    knee:
+        The knee-point row: the balanced pick on the front.
+    objectives:
+        The resolved objectives, in selection order.
+    strategy:
+        Registry name of the strategy that ran.
+    """
+
+    results: ResultSet
+    front: ResultSet
+    knee: Record
+    objectives: Tuple[Objective, ...]
+    strategy: str
+
+    @property
+    def knee_pdn(self) -> str:
+        """Topology of the knee-point candidate (the recommended design)."""
+        return str(self.knee["pdn"])
+
+
+def run_optimization(
+    space: DesignSpace,
+    objectives: Optional[Sequence[str]] = None,
+    strategy: object = None,
+    budget: Optional[int] = None,
+    seed: Optional[int] = None,
+    settings: Optional[EvaluationSettings] = None,
+    parameters: Optional[PdnTechnologyParameters] = None,
+    evaluator: Optional[CandidateEvaluator] = None,
+    executor: ExecutorLike = None,
+    jobs: Optional[int] = None,
+) -> OptimizationOutcome:
+    """Search ``space`` against multiple objectives and rank the outcome.
+
+    Parameters
+    ----------
+    space:
+        The candidate designs (topology x parameter axes, constrained).
+    objectives:
+        Objective names (see :data:`~repro.optimize.objectives.OBJECTIVES`);
+        default :data:`~repro.optimize.objectives.DEFAULT_OBJECTIVES`.
+    strategy:
+        ``None`` / ``"grid"`` (exhaustive), ``"random"`` or
+        ``"evolutionary"``, or a pre-built strategy instance.
+    budget:
+        Candidate budget for the sampling strategies (grid cap optional).
+    seed:
+        RNG seed of the sampling strategies (default 0); a fixed seed makes
+        the whole search -- including a parallel one -- reproducible.  Must
+        be left unset with a pre-built strategy instance.
+    settings:
+        Operating conditions (TDP set, benchmarks, scenarios, baseline).
+    parameters:
+        Base technology parameters for a fresh evaluator.
+    evaluator:
+        Optional pre-built :class:`CandidateEvaluator` (shares caches across
+        searches); mutually exclusive with ``settings``/``parameters``.
+    executor / jobs:
+        Parallel backend forwarded to every candidate batch; results are
+        bit-identical to the serial search.
+    """
+    resolved = resolve_objectives(objectives)
+    if evaluator is not None:
+        if settings is not None or parameters is not None:
+            raise ConfigurationError(
+                "pass either a prebuilt evaluator or settings/parameters, not both"
+            )
+        if tuple(evaluator.objectives) != resolved:
+            raise ConfigurationError(
+                "the prebuilt evaluator computes different objectives than "
+                "the ones selected"
+            )
+    else:
+        evaluator = CandidateEvaluator(
+            resolved, settings=settings, parameters=parameters
+        )
+    search = make_strategy(strategy, budget=budget, seed=seed)
+
+    def evaluate(points: Sequence[DesignPoint]) -> List[Record]:
+        """The strategy-facing batch hook (parallelism injected here)."""
+        return evaluator.evaluate_batch(points, executor=executor, jobs=jobs)
+
+    evaluated: List[Evaluated] = search.search(space, evaluate, resolved)
+    if not evaluated:
+        raise ConfigurationError(
+            f"strategy {search.name!r} evaluated no candidates of "
+            f"space {space.name!r}"
+        )
+    results = ResultSet.from_records(
+        [record for _, record in evaluated], name=space.name
+    )
+    # One dominance scan: annotate() computes both markers, and the front
+    # and knee row are read back from the marker columns in linear time.
+    annotated = annotate(results, resolved)
+    front = annotated.filter(pareto=True)
+    knee = annotated.row(annotated.column("knee").index(True))
+    return OptimizationOutcome(
+        results=annotated,
+        front=front,
+        knee=knee,
+        objectives=resolved,
+        strategy=search.name,
+    )

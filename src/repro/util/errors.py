@@ -20,6 +20,17 @@ class ConfigurationError(ReproError):
     """
 
 
+class NormalizationError(ConfigurationError, ValueError):
+    """Raised when a result set cannot be normalised to a baseline.
+
+    Examples include a baseline row whose value is zero or NaN (division
+    would silently produce infinities or NaN cells) or a baseline row that
+    does not populate the value column at all.  Subclasses both
+    :class:`ConfigurationError` (so library-error handling keeps working)
+    and :class:`ValueError` (the conventional type for bad numeric input).
+    """
+
+
 class ModelDomainError(ReproError):
     """Raised when a model is evaluated outside its validated domain.
 

@@ -1,0 +1,315 @@
+"""Property-style tests of the Pareto utilities (and normalisation errors)."""
+
+import itertools
+import json
+import random
+
+import pytest
+
+from repro.analysis.resultset import ResultSet
+from repro.optimize.objectives import Objective
+from repro.optimize.pareto import (
+    annotate,
+    dominates,
+    knee_point,
+    pareto_front,
+    pareto_indices,
+    scalarize,
+)
+from repro.util.errors import ConfigurationError, NormalizationError
+
+#: A three-objective mix of directions (max, min, min).
+OBJECTIVES = (
+    Objective("etee", "etee", "max"),
+    Objective("bom", "bom_cost", "min"),
+    Objective("area", "board_area_mm2", "min"),
+)
+
+
+def make_resultset(rows):
+    return ResultSet.from_records(
+        [
+            {
+                "pdn": f"cand-{index}",
+                "etee": row[0],
+                "bom_cost": row[1],
+                "board_area_mm2": row[2],
+            }
+            for index, row in enumerate(rows)
+        ],
+        name="pareto-test",
+    )
+
+
+@pytest.fixture(scope="module")
+def random_rows():
+    """A deterministic pseudo-random candidate population."""
+    rng = random.Random(42)
+    return [
+        (rng.uniform(0.5, 1.0), rng.uniform(1.0, 5.0), rng.uniform(100, 700))
+        for _ in range(25)
+    ]
+
+
+class TestDominance:
+    def test_irreflexive(self, random_rows):
+        resultset = make_resultset(random_rows)
+        for record in resultset.to_records():
+            assert not dominates(record, record, OBJECTIVES)
+
+    def test_asymmetric(self, random_rows):
+        resultset = make_resultset(random_rows)
+        records = resultset.to_records()
+        for a, b in itertools.combinations(records, 2):
+            assert not (
+                dominates(a, b, OBJECTIVES) and dominates(b, a, OBJECTIVES)
+            )
+
+    def test_transitive(self, random_rows):
+        resultset = make_resultset(random_rows)
+        records = resultset.to_records()
+        for a, b, c in itertools.permutations(records[:10], 3):
+            if dominates(a, b, OBJECTIVES) and dominates(b, c, OBJECTIVES):
+                assert dominates(a, c, OBJECTIVES)
+
+    def test_strict_improvement_required(self):
+        a = {"etee": 0.7, "bom_cost": 2.0, "board_area_mm2": 200.0}
+        assert not dominates(a, dict(a), OBJECTIVES)
+        better = dict(a, etee=0.8)
+        assert dominates(better, a, OBJECTIVES)
+        assert not dominates(a, better, OBJECTIVES)
+
+    def test_direction_respected(self):
+        low_cost = {"etee": 0.7, "bom_cost": 1.0, "board_area_mm2": 200.0}
+        high_cost = {"etee": 0.7, "bom_cost": 3.0, "board_area_mm2": 200.0}
+        assert dominates(low_cost, high_cost, OBJECTIVES)
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dominates({"etee": 1.0}, {"etee": 0.5}, OBJECTIVES)
+
+    def test_no_objectives_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dominates({}, {}, ())
+
+    def test_nan_record_rejected(self):
+        a = {"etee": float("nan"), "bom_cost": 1.0, "board_area_mm2": 1.0}
+        b = {"etee": 0.9, "bom_cost": 1.0, "board_area_mm2": 1.0}
+        with pytest.raises(ConfigurationError, match="NaN"):
+            dominates(a, b, OBJECTIVES)
+
+
+class TestParetoFront:
+    def test_front_is_subset_of_inputs(self, random_rows):
+        resultset = make_resultset(random_rows)
+        front = pareto_front(resultset, OBJECTIVES)
+        inputs = {tuple(sorted(r.items())) for r in resultset.to_records()}
+        assert len(front) >= 1
+        for record in front.to_records():
+            assert tuple(sorted(record.items())) in inputs
+
+    def test_front_members_are_mutually_non_dominated(self, random_rows):
+        front = pareto_front(make_resultset(random_rows), OBJECTIVES).to_records()
+        for a, b in itertools.permutations(front, 2):
+            assert not dominates(a, b, OBJECTIVES)
+
+    def test_every_non_front_row_is_dominated(self, random_rows):
+        resultset = make_resultset(random_rows)
+        keep = set(pareto_indices(resultset, OBJECTIVES))
+        records = resultset.to_records()
+        front = [records[i] for i in keep]
+        for index, record in enumerate(records):
+            if index in keep:
+                continue
+            assert any(dominates(member, record, OBJECTIVES) for member in front)
+
+    def test_front_invariant_under_objective_permutation(self, random_rows):
+        resultset = make_resultset(random_rows)
+        reference = pareto_indices(resultset, OBJECTIVES)
+        for permutation in itertools.permutations(OBJECTIVES):
+            assert pareto_indices(resultset, permutation) == reference
+
+    def test_duplicate_optima_all_kept(self):
+        resultset = make_resultset(
+            [(0.9, 1.0, 100.0), (0.9, 1.0, 100.0), (0.5, 4.0, 600.0)]
+        )
+        assert pareto_indices(resultset, OBJECTIVES) == [0, 1]
+
+    def test_unknown_objective_column_rejected(self):
+        resultset = make_resultset([(0.9, 1.0, 100.0)])
+        bogus = (Objective("x", "nope", "max"),)
+        with pytest.raises(ConfigurationError):
+            pareto_front(resultset, bogus)
+
+    def test_non_numeric_cell_rejected(self):
+        resultset = ResultSet.from_records(
+            [{"etee": "high", "bom_cost": 1.0, "board_area_mm2": 1.0}]
+        )
+        with pytest.raises(ConfigurationError):
+            pareto_indices(resultset, OBJECTIVES)
+
+    def test_nan_cell_rejected_instead_of_corrupting_the_front(self):
+        """NaN compares false everywhere, so it would never be dominated."""
+        resultset = make_resultset(
+            [(0.9, 1.0, 100.0), (float("nan"), 1.0, 100.0)]
+        )
+        with pytest.raises(ConfigurationError, match="NaN"):
+            pareto_indices(resultset, OBJECTIVES)
+        with pytest.raises(ConfigurationError, match="NaN"):
+            knee_point(resultset, OBJECTIVES)
+
+
+class TestScalarize:
+    def test_scores_bounded_and_best_is_one(self):
+        resultset = make_resultset(
+            [(1.0, 1.0, 100.0), (0.5, 5.0, 700.0), (0.75, 3.0, 400.0)]
+        )
+        scored = scalarize(resultset, OBJECTIVES)
+        scores = scored.column("score")
+        assert all(0.0 <= s <= 1.0 for s in scores)
+        assert scores[0] == pytest.approx(1.0)  # best on every axis
+        assert scores[1] == pytest.approx(0.0)  # worst on every axis
+
+    def test_weights_reorder_the_ranking(self, random_rows):
+        resultset = make_resultset(
+            [(0.9, 5.0, 700.0), (0.5, 1.0, 100.0)]
+        )
+        efficiency_heavy = scalarize(
+            resultset, OBJECTIVES, weights={"etee": 10.0}
+        ).column("score")
+        cost_heavy = scalarize(
+            resultset, OBJECTIVES, weights={"bom": 10.0, "area": 10.0}
+        ).column("score")
+        assert efficiency_heavy[0] > efficiency_heavy[1]
+        assert cost_heavy[1] > cost_heavy[0]
+
+    def test_unknown_weight_name_rejected(self):
+        resultset = make_resultset([(0.9, 1.0, 100.0)])
+        with pytest.raises(ConfigurationError):
+            scalarize(resultset, OBJECTIVES, weights={"nope": 1.0})
+
+    def test_all_zero_weights_rejected(self):
+        resultset = make_resultset([(0.9, 1.0, 100.0)])
+        with pytest.raises(ConfigurationError):
+            scalarize(
+                resultset,
+                OBJECTIVES,
+                weights={"etee": 0.0, "bom": 0.0, "area": 0.0},
+            )
+
+    def test_negative_weight_rejected(self):
+        resultset = make_resultset([(0.9, 1.0, 100.0)])
+        with pytest.raises(ConfigurationError):
+            scalarize(resultset, OBJECTIVES, weights={"etee": -1.0})
+
+
+class TestKneePoint:
+    def test_single_candidate_space(self):
+        resultset = make_resultset([(0.7, 2.0, 300.0)])
+        assert pareto_indices(resultset, OBJECTIVES) == [0]
+        assert knee_point(resultset, OBJECTIVES) == 0
+
+    def test_knee_is_on_the_front(self, random_rows):
+        resultset = make_resultset(random_rows)
+        assert knee_point(resultset, OBJECTIVES) in pareto_indices(
+            resultset, OBJECTIVES
+        )
+
+    def test_balanced_candidate_beats_corner_candidates(self):
+        # Two corners and one near-ideal compromise: the compromise wins.
+        resultset = make_resultset(
+            [(1.0, 5.0, 700.0), (0.5, 1.0, 100.0), (0.95, 1.5, 160.0)]
+        )
+        assert knee_point(resultset, OBJECTIVES) == 2
+
+    def test_zero_range_objective_contributes_nothing(self):
+        # A degenerate axis (every candidate identical, e.g. zero area for
+        # all) must not divide by zero nor sway the pick.
+        resultset = make_resultset(
+            [(1.0, 5.0, 0.0), (0.5, 1.0, 0.0), (0.95, 1.5, 0.0)]
+        )
+        assert knee_point(resultset, OBJECTIVES) == 2
+
+    def test_tie_breaks_towards_earlier_row(self):
+        resultset = make_resultset(
+            [(0.9, 1.0, 100.0), (0.9, 1.0, 100.0)]
+        )
+        assert knee_point(resultset, OBJECTIVES) == 0
+
+    def test_empty_result_set_rejected_cleanly(self):
+        empty = make_resultset([(0.9, 1.0, 100.0)]).filter(pdn="nope")
+        assert pareto_indices(empty, OBJECTIVES) == []
+        with pytest.raises(ConfigurationError):
+            knee_point(empty, OBJECTIVES)
+        with pytest.raises(ConfigurationError):
+            scalarize(empty, OBJECTIVES)
+        with pytest.raises(ConfigurationError):
+            annotate(empty, OBJECTIVES)
+
+
+class TestAnnotate:
+    def test_markers_match_the_utilities(self, random_rows):
+        resultset = make_resultset(random_rows)
+        annotated = annotate(resultset, OBJECTIVES)
+        front = set(pareto_indices(resultset, OBJECTIVES))
+        knee = knee_point(resultset, OBJECTIVES)
+        assert annotated.column("pareto") == [
+            index in front for index in range(len(resultset))
+        ]
+        assert annotated.column("knee").count(True) == 1
+        assert annotated.column("knee")[knee] is True
+
+    def test_annotated_set_serialises(self, random_rows):
+        annotated = annotate(make_resultset(random_rows[:5]), OBJECTIVES)
+        payload = json.loads(annotated.to_json())
+        assert "pareto" in payload["columns"]
+        assert ResultSet.from_json(annotated.to_json()) == annotated
+        assert "pareto" in annotated.to_csv().splitlines()[0]
+
+
+class TestNormalizeToErrors:
+    """The normalize_to satellite: clear ValueError naming the offending key."""
+
+    def records(self, baseline_etee):
+        return ResultSet.from_records(
+            [
+                {"pdn": "IVR", "tdp_w": 4.0, "etee": baseline_etee},
+                {"pdn": "LDO", "tdp_w": 4.0, "etee": 0.7},
+            ]
+        )
+
+    def test_zero_baseline_raises_value_error_naming_key(self):
+        with pytest.raises(ValueError, match="pdn='IVR'") as excinfo:
+            self.records(0.0).normalize_to("IVR", value_columns=("etee",))
+        assert "etee" in str(excinfo.value)
+        assert isinstance(excinfo.value, NormalizationError)
+        assert isinstance(excinfo.value, ConfigurationError)
+
+    def test_nan_baseline_raises_instead_of_propagating(self):
+        with pytest.raises(ValueError, match="NaN"):
+            self.records(float("nan")).normalize_to(
+                "IVR", value_columns=("etee",)
+            )
+
+    def test_missing_baseline_cell_names_key_and_column(self):
+        resultset = ResultSet.from_records(
+            [
+                {"pdn": "IVR", "tdp_w": 4.0},
+                {"pdn": "LDO", "tdp_w": 4.0, "etee": 0.7},
+            ]
+        )
+        with pytest.raises(ValueError, match="'etee'"):
+            resultset.normalize_to("IVR", value_columns=("etee",))
+
+    def test_missing_baseline_row_is_value_error_too(self):
+        resultset = ResultSet.from_records(
+            [{"pdn": "LDO", "tdp_w": 4.0, "etee": 0.7}]
+        )
+        with pytest.raises(ValueError, match="IVR"):
+            resultset.normalize_to("IVR", value_columns=("etee",))
+
+    def test_valid_normalisation_still_works(self):
+        normalised = self.records(0.5).normalize_to(
+            "IVR", value_columns=("etee",)
+        )
+        assert normalised.column("etee") == pytest.approx([1.0, 1.4])

@@ -26,6 +26,7 @@ def test_every_example_is_covered():
         "adaptive_runtime.py",
         "battery_life_study.py",
         "design_space_exploration.py",
+        "design_space_search.py",
         "quickstart.py",
         "scenario_sweep.py",
     }
