@@ -39,6 +39,7 @@ from repro.analysis.executor import (
 )
 from repro.analysis.pdnspot import CacheInfo, PdnSpot
 from repro.analysis.resultset import ResultSet
+from repro.cache import DiskCache, DiskCacheStats
 from repro.analysis.study import Scenario, Study, StudyBuilder
 from repro.core.flexwatts import FlexWattsPdn
 from repro.optimize import (
@@ -63,11 +64,13 @@ from repro.sim import (
 )
 from repro.workloads.scenarios import available_scenarios, build_scenario_trace
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "PdnSpot",
     "CacheInfo",
+    "DiskCache",
+    "DiskCacheStats",
     "Study",
     "StudyBuilder",
     "Scenario",

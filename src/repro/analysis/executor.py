@@ -155,6 +155,91 @@ class EvaluationEngine(Protocol):
         ...  # pragma: no cover - protocol
 
 
+class TwoTierCacheMixin:
+    """Shared memory-then-disk cache fall-through for evaluation engines.
+
+    Implements the :meth:`cache_lookup` / :meth:`cache_install` half of the
+    :class:`EvaluationEngine` protocol once, for every engine that keeps a
+    locked in-memory memo dict in front of an optional
+    :class:`~repro.cache.DiskCache`.  The host class provides the state --
+    ``_cache``, ``_cache_lock``, ``_cache_hits``, ``_cache_misses``,
+    ``_disk_cache`` -- plus two hooks:
+
+    ``_copy_cached(value)``
+        A caller-owned copy of a cached payload (cached masters are shared).
+    ``_payload_type``
+        The payload class disk entries must be to count as hits (guards
+        against a foreign entry landing at an engine's address).
+
+    Engines whose on-disk address differs from the memo key (the simulation
+    engine's trace digest) additionally override :meth:`_disk_key`.
+    """
+
+    #: Disk payloads of any other type are treated as misses.
+    _payload_type: type = object
+
+    def _disk_key(self, key: Tuple[object, ...]) -> Tuple[object, ...]:
+        """The on-disk address of one unit (defaults to the memo key)."""
+        return key
+
+    def _copy_cached(self, value: EvalResult) -> EvalResult:
+        """A caller-owned copy of a cached payload (host engines override)."""
+        raise NotImplementedError  # pragma: no cover - host engines override
+
+    def cache_lookup(self, key: Tuple[object, ...]) -> Optional[EvalResult]:
+        """A caller-owned copy of a cached result, or ``None`` (hit-counted).
+
+        A memory miss falls through to the attached
+        :class:`~repro.cache.DiskCache` (when there is one); a disk hit is
+        promoted into the memory cache so later lookups skip the
+        filesystem, and both tiers' hits are counted identically.
+        """
+        with self._cache_lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache_hits += 1
+                return self._copy_cached(cached)
+        if self._disk_cache is None:
+            return None
+        disk_key = self._disk_key(key)
+        payload = self._disk_cache.get(disk_key)
+        if payload is None:
+            return None
+        if not isinstance(payload, self._payload_type):
+            # Structurally valid entry, wrong payload class (e.g. written by
+            # a code version that changed the payload type without bumping
+            # the format version): heal it like corruption, loudly.
+            self._disk_cache.discard(
+                disk_key,
+                f"payload is {type(payload).__name__}, "
+                f"expected {self._payload_type.__name__}",
+            )
+            return None
+        with self._cache_lock:
+            master = self._cache.setdefault(key, payload)
+            self._cache_hits += 1
+            return self._copy_cached(master)
+
+    def cache_install(
+        self, key: Tuple[object, ...], result: EvalResult
+    ) -> EvalResult:
+        """Merge one computed result into the cache (counted as a miss).
+
+        This is the merge-back half of parallel execution: worker-computed
+        results become shared cache masters and the caller gets the same
+        caller-owned copy a serial miss would have produced.  With a disk
+        store attached the result is also written through, so later
+        processes start warm.
+        """
+        with self._cache_lock:
+            self._cache_misses += 1
+            self._cache[key] = result
+            copy = self._copy_cached(result)
+        if self._disk_cache is not None:
+            self._disk_cache.put(self._disk_key(key), result)
+        return copy
+
+
 def default_jobs() -> int:
     """The default worker count: the machine's CPU count (at least one)."""
     return os.cpu_count() or 1

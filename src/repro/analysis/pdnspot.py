@@ -27,7 +27,14 @@ import threading
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.analysis.executor import EvalUnit, ExecutorLike, WorkerConfig, make_executor
+from repro.analysis.executor import (
+    EvalUnit,
+    ExecutorLike,
+    TwoTierCacheMixin,
+    WorkerConfig,
+    make_executor,
+)
+from repro.cache import DiskCache, DiskCacheLike, parameters_fingerprint, resolve_disk_cache
 from repro.analysis.resultset import Record, ResultSet
 from repro.analysis.study import (
     OverrideKey,
@@ -90,7 +97,7 @@ def _copy_evaluation(evaluation: PdnEvaluation) -> PdnEvaluation:
 _conditions_key = conditions_key
 
 
-class PdnSpot:
+class PdnSpot(TwoTierCacheMixin):
     """Multi-dimensional PDN exploration framework (the paper's PDNspot).
 
     Parameters
@@ -106,6 +113,13 @@ class PdnSpot:
         Disabling reproduces the pre-cache evaluation cost (used by the
         benchmark harness to track the cache's speedup); results are
         identical either way because the PDN models are pure.
+    disk_cache:
+        Optional second cache tier: a cache-directory path (a
+        :class:`~repro.cache.DiskCache` is built for it, keyed by this
+        engine's parameters fingerprint) or a pre-built store.  Memory
+        misses fall through to disk, computed evaluations write through, so
+        a directory warmed by one process serves identical runs in any
+        later process.  Requires ``enable_cache=True``.
     """
 
     def __init__(
@@ -114,6 +128,7 @@ class PdnSpot:
         pdn_names: Optional[Sequence[str]] = None,
         baseline_name: str = "IVR",
         enable_cache: bool = True,
+        disk_cache: DiskCacheLike = None,
     ):
         self.parameters = parameters if parameters is not None else default_parameters()
         names = list(pdn_names) if pdn_names is not None else available_pdns()
@@ -138,6 +153,16 @@ class PdnSpot:
         # table: concurrent evaluate_cached calls (ThreadExecutor workers or
         # user threads) must not lose counter updates or race dict growth.
         self._cache_lock = threading.Lock()
+        if disk_cache is not None and not enable_cache:
+            raise ConfigurationError(
+                "disk_cache requires enable_cache=True: the disk tier sits "
+                "behind the memo cache"
+            )
+        self._disk_cache = resolve_disk_cache(
+            disk_cache,
+            namespace="pdnspot",
+            fingerprint=parameters_fingerprint(self.parameters),
+        )
         #: Parameter-override PDN variants, keyed by (overrides, pdn name).
         self._variants: Dict[Tuple[OverrideKey, str], PowerDeliveryNetwork] = {}
 
@@ -178,7 +203,12 @@ class PdnSpot:
             )
 
     def clear_cache(self) -> None:
-        """Drop every memoised evaluation (statistics reset too)."""
+        """Drop every memoised evaluation (statistics reset too).
+
+        Only the in-memory tier is cleared; an attached disk store survives
+        (use :meth:`DiskCache.prune` to reclaim it) and will serve the next
+        lookups.
+        """
         with self._cache_lock:
             self._cache.clear()
             self._cache_hits = 0
@@ -193,28 +223,14 @@ class PdnSpot:
         """The memo-cache key of one evaluation unit."""
         return (overrides, pdn_name, _conditions_key(conditions))
 
-    def cache_lookup(self, key: Tuple[object, ...]) -> Optional[PdnEvaluation]:
-        """A caller-owned copy of a cached evaluation (counted as a hit)."""
-        with self._cache_lock:
-            cached = self._cache.get(key)
-            if cached is None:
-                return None
-            self._cache_hits += 1
-            return _copy_evaluation(cached)
+    @property
+    def disk_cache(self) -> Optional[DiskCache]:
+        """The attached on-disk store (second cache tier), if any."""
+        return self._disk_cache
 
-    def cache_install(
-        self, key: Tuple[object, ...], evaluation: PdnEvaluation
-    ) -> PdnEvaluation:
-        """Merge one computed evaluation into the cache (counted as a miss).
-
-        This is the merge-back half of parallel execution: worker-computed
-        evaluations become shared cache masters, and the caller gets the same
-        caller-owned copy a serial miss would have produced.
-        """
-        with self._cache_lock:
-            self._cache_misses += 1
-            self._cache[key] = evaluation
-            return _copy_evaluation(evaluation)
+    # Two-tier cache_lookup / cache_install come from TwoTierCacheMixin.
+    _payload_type = PdnEvaluation
+    _copy_cached = staticmethod(_copy_evaluation)
 
     def _variant_pdn(self, name: str, overrides: OverrideKey) -> PowerDeliveryNetwork:
         """The PDN instance for one parameter-override set (built once)."""

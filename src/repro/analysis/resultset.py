@@ -6,7 +6,10 @@ produces a :class:`ResultSet`: a small, dependency-free columnar table with
 typed accessors, relational-style helpers (:meth:`ResultSet.filter`,
 :meth:`ResultSet.pivot`, :meth:`ResultSet.normalize_to`) and loss-free
 serialisation (:meth:`ResultSet.to_json` / :meth:`ResultSet.from_json`,
-:meth:`ResultSet.to_csv`).
+:meth:`ResultSet.to_csv` / :meth:`ResultSet.from_csv`).  The JSON output is
+strictly RFC 8259-compliant: non-finite floats are written as ``null`` and
+recorded in a ``non_finite`` mask so they round-trip exactly (NaN cells
+never leak as the bare ``NaN`` token that breaks ``jq`` and ``JSON.parse``).
 
 A result set is rectangular but *ragged-schema*: rows produced by different
 scenario kinds may populate different columns (an active-workload row has an
@@ -18,9 +21,11 @@ columnar representation.
 
 from __future__ import annotations
 
+import ast
 import csv
 import io
 import json
+import math
 from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.util.errors import ConfigurationError, NormalizationError
@@ -47,6 +52,83 @@ class _Missing:
 MISSING = _Missing()
 
 Record = Dict[str, object]
+
+#: Labels the JSON ``non_finite`` mask uses for the three non-finite floats
+#: (which RFC 8259 cannot represent), and their restored values.
+_NON_FINITE_VALUES = {"nan": float("nan"), "inf": math.inf, "-inf": -math.inf}
+
+
+def _non_finite_label(value: float) -> str:
+    """The mask label of one non-finite float."""
+    if math.isnan(value):
+        return "nan"
+    return "inf" if value > 0 else "-inf"
+
+
+def _scrub_nested_non_finite(value: object) -> object:
+    """Replace non-finite floats *inside* container cells with ``None``.
+
+    Top-level float cells get the exact ``non_finite``-mask treatment in
+    :meth:`ResultSet.to_json`; values nested in dict/list/tuple cells cannot
+    be addressed by a ``[row, column]`` position, so they degrade to plain
+    ``null`` (better than crashing ``allow_nan=False`` or emitting the bare
+    ``NaN`` token).  Returns the value unchanged when nothing is non-finite.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        scrubbed: Dict[object, object] = {}
+        changed = False
+        for key, item in value.items():
+            if isinstance(key, float) and not math.isfinite(key):
+                # json.dumps would reject (or mis-token) a non-finite float
+                # *key*; its label string is the closest legal spelling.
+                key = _non_finite_label(key)
+                changed = True
+            new_item = _scrub_nested_non_finite(item)
+            changed = changed or new_item is not item
+            scrubbed[key] = new_item
+        return scrubbed if changed else value
+    if isinstance(value, (list, tuple)):
+        scrubbed_items = [_scrub_nested_non_finite(item) for item in value]
+        if all(new is old for new, old in zip(scrubbed_items, value)):
+            return value
+        # A plain list, deliberately: json.dumps renders lists, tuples and
+        # namedtuples as the same array, and reconstructing type(value)
+        # would crash on namedtuples (their ctor takes one arg per field).
+        return scrubbed_items
+    return value
+
+
+def _parse_csv_cell(token: str) -> object:
+    """Restore one CSV cell to its most specific Python value.
+
+    The inverse of the ``str()`` rendering :meth:`ResultSet.to_csv` applies:
+    empty -> :data:`MISSING`, Python literal -> that literal, numeric-looking
+    (incl. ``nan``/``inf``) -> float, anything else -> the raw string.
+    """
+    if token == "":
+        return MISSING
+    try:
+        return ast.literal_eval(token)
+    except (ValueError, SyntaxError, MemoryError, RecursionError):
+        pass
+    try:
+        return float(token)  # literal_eval rejects nan/inf spellings
+    except ValueError:
+        return token
+
+
+def _cells_equal(left: object, right: object) -> bool:
+    """Cell equality with ``NaN == NaN`` (used by :meth:`ResultSet.__eq__`)."""
+    if (
+        isinstance(left, float)
+        and isinstance(right, float)
+        and math.isnan(left)
+        and math.isnan(right)
+    ):
+        return True
+    return left == right
 
 
 def _hashable(value: object) -> object:
@@ -140,9 +222,24 @@ class ResultSet:
         return iter(self.to_records())
 
     def __eq__(self, other: object) -> bool:
+        """Column-order- and cell-wise equality, treating NaN cells as equal.
+
+        Plain ``==`` on the column lists would make any result set with a
+        NaN cell unequal to *itself de-serialised* (``nan != nan``), which
+        broke the documented JSON/CSV round-trip guarantee; NaN in the same
+        cell on both sides therefore compares equal here.
+        """
         if not isinstance(other, ResultSet):
             return NotImplemented
-        return self.columns == other.columns and self._columns == other._columns
+        if self.columns != other.columns or self._length != other._length:
+            return False
+        if self._columns == other._columns:
+            return True  # C-speed fast path; NaN-free tables end here
+        return all(
+            _cells_equal(cells[index], other._columns[name][index])
+            for name, cells in self._columns.items()
+            for index in range(self._length)
+        )
 
     def __repr__(self) -> str:
         label = f" {self.name!r}" if self.name else ""
@@ -336,23 +433,52 @@ class ResultSet:
         return [self.row(index) for index in range(self._length)]
 
     def to_json(self, indent: Optional[int] = None) -> str:
-        """Serialise as JSON (missing cells become ``null``)."""
-        payload = {
+        """Serialise as strictly RFC 8259-compliant JSON.
+
+        Missing cells become ``null``.  Non-finite floats -- which
+        ``json.dumps`` would otherwise emit as the bare ``NaN`` /
+        ``Infinity`` tokens no standard JSON parser (``jq``, JavaScript's
+        ``JSON.parse``) accepts -- are *also* written as ``null``, with
+        their positions recorded in a ``non_finite`` mask so
+        :meth:`from_json` restores them exactly; the output always parses
+        with ``allow_nan``-strict decoders.  Non-finite floats nested
+        *inside* container cells (a ``parameters`` dict, say) cannot be
+        mask-addressed and degrade to plain ``null``.
+        """
+        rows: List[List[object]] = []
+        non_finite: Dict[str, List[List[int]]] = {}
+        for index in range(self._length):
+            row: List[object] = []
+            for column_index, cells in enumerate(self._columns.values()):
+                cell = cells[index]
+                if cell is MISSING:
+                    cell = None
+                elif isinstance(cell, float) and not math.isfinite(cell):
+                    non_finite.setdefault(_non_finite_label(cell), []).append(
+                        [index, column_index]
+                    )
+                    cell = None
+                elif isinstance(cell, (dict, list, tuple)):
+                    cell = _scrub_nested_non_finite(cell)
+                row.append(cell)
+            rows.append(row)
+        payload: Dict[str, object] = {
             "name": self.name,
             "columns": list(self._columns),
-            "rows": [
-                [
-                    None if cells[index] is MISSING else cells[index]
-                    for cells in self._columns.values()
-                ]
-                for index in range(self._length)
-            ],
+            "rows": rows,
         }
-        return json.dumps(payload, indent=indent, default=str)
+        if non_finite:
+            payload["non_finite"] = non_finite
+        return json.dumps(payload, indent=indent, default=str, allow_nan=False)
 
     @classmethod
     def from_json(cls, text: str) -> "ResultSet":
-        """Rebuild a result set from :meth:`to_json` output."""
+        """Rebuild a result set from :meth:`to_json` output.
+
+        ``null`` cells listed in the payload's ``non_finite`` mask are
+        restored to ``float("nan")`` / ``±inf``; every other ``null`` is a
+        missing cell, exactly as written.
+        """
         payload = json.loads(text)
         try:
             column_names = payload["columns"]
@@ -361,14 +487,59 @@ class ResultSet:
             raise ConfigurationError(
                 "not a serialised ResultSet: expected 'columns' and 'rows' keys"
             ) from error
+        restored: Dict[Tuple[int, int], float] = {}
+        mask = payload.get("non_finite", {})
+        if not isinstance(mask, dict):
+            raise ConfigurationError("'non_finite' must map labels to positions")
+        for label, positions in mask.items():
+            if label not in _NON_FINITE_VALUES:
+                raise ConfigurationError(
+                    f"unknown non-finite label {label!r}; expected one of: "
+                    f"{', '.join(_NON_FINITE_VALUES)}"
+                )
+            if not isinstance(positions, (list, tuple)):
+                raise ConfigurationError(
+                    f"malformed non_finite position list {positions!r}"
+                )
+            for position in positions:
+                if (
+                    not isinstance(position, (list, tuple))
+                    or len(position) != 2
+                    or not all(isinstance(index, int) for index in position)
+                ):
+                    raise ConfigurationError(
+                        f"malformed non_finite position {position!r}; "
+                        "expected [row, column]"
+                    )
+                row_index, column_index = position
+                try:
+                    is_null = (
+                        row_index >= 0
+                        and column_index >= 0
+                        and rows[row_index][column_index] is None
+                    )
+                except (IndexError, TypeError):
+                    is_null = False
+                if not is_null:
+                    # A mask pointing at a missing or non-null cell means the
+                    # payload was truncated or edited; silently dropping the
+                    # NaN would change data, so fail like the other malformed
+                    # mask shapes do.
+                    raise ConfigurationError(
+                        f"non_finite position {position!r} does not reference "
+                        "a null cell of 'rows'"
+                    )
+                restored[(row_index, column_index)] = _NON_FINITE_VALUES[label]
         columns: Dict[str, List[object]] = {name: [] for name in column_names}
-        for row in rows:
+        for row_index, row in enumerate(rows):
             if len(row) != len(column_names):
                 raise ConfigurationError(
                     f"row width {len(row)} does not match {len(column_names)} columns"
                 )
-            for name, cell in zip(column_names, row):
-                columns[name].append(MISSING if cell is None else cell)
+            for column_index, (name, cell) in enumerate(zip(column_names, row)):
+                if cell is None:
+                    cell = restored.get((row_index, column_index), MISSING)
+                columns[name].append(cell)
         return cls(columns, name=payload.get("name", ""))
 
     def to_csv(self) -> str:
@@ -384,3 +555,44 @@ class ResultSet:
                 ]
             )
         return buffer.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str, name: str = "") -> "ResultSet":
+        """Rebuild a result set from :meth:`to_csv` output (typed restore).
+
+        CSV is stringly typed, so cell types are restored heuristically,
+        matching how :meth:`to_csv` rendered them: empty cells become
+        :data:`MISSING`; Python literals (ints, floats, booleans, the
+        ``str()`` form of dict/list/tuple cells such as the ``parameters``
+        column) are parsed back with :func:`ast.literal_eval`; ``nan`` /
+        ``inf`` / ``-inf`` become the non-finite floats; everything else
+        stays a string.  ``from_csv(rs.to_csv()) == rs`` holds for tables of
+        non-empty strings, ints, floats (including NaN), booleans and dict
+        cells -- the documented round-trip.  Four CSV-inherent ambiguities
+        are resolved lossily: empty-*string* and ``None`` cells come back
+        as :data:`MISSING` (CSV writes all three as an empty field); cells that
+        only *look* numeric (a string column holding ``"42"``) come back as
+        numbers; and a *container* cell holding a non-finite float (its
+        ``str()`` form embeds a bare ``nan``/``inf`` no literal parser
+        accepts) comes back as that string.  Use JSON -- whose
+        ``non_finite`` mask is exact -- where those distinctions matter.
+        """
+        reader = csv.reader(io.StringIO(text))
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ConfigurationError("empty CSV: expected a header row") from None
+        if len(set(header)) != len(header):
+            raise ConfigurationError("duplicate column names in CSV header")
+        columns: Dict[str, List[object]] = {column: [] for column in header}
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue  # csv.reader yields [] for stray blank lines
+            if len(row) != len(header):
+                raise ConfigurationError(
+                    f"CSV line {line_number}: row width {len(row)} does not "
+                    f"match {len(header)} columns"
+                )
+            for column, token in zip(header, row):
+                columns[column].append(_parse_csv_cell(token))
+        return cls(columns, name=name)

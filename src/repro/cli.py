@@ -10,9 +10,12 @@ The CLI exposes the most common analyses without writing any Python::
     python -m repro predict --tdp 50 --ar 0.6 --workload graphics
     python -m repro sweep --tdps 4 18 50 --ars 0.4 0.56 --format csv
     python -m repro sweep --tdps 4 18 50 --ars 0.4 0.56 --jobs 4
+    python -m repro sweep --tdps 4 18 50 --cache-dir ~/.cache/repro
     python -m repro export fig3 --format json --output fig3.json
     python -m repro simulate --scenario bursty-interactive --jobs 4 --format json
     python -m repro optimize --strategy random --budget 12 --seed 7 --jobs 4
+    python -m repro cache stats --cache-dir ~/.cache/repro
+    python -m repro cache prune --cache-dir ~/.cache/repro --older-than 604800
 
 Every sub-command prints a plain-text table by default (no plotting
 dependency); ``--json`` (and ``--format json|csv`` on ``sweep``/``export``)
@@ -21,6 +24,10 @@ declarative :class:`~repro.analysis.study.Study` from its axis flags and runs
 it through the cached :meth:`PdnSpot.run` engine; ``--jobs N`` /
 ``--executor {serial,thread,process}`` (also on ``export`` and ``figures``)
 evaluate the grid through a parallel backend with identical results.
+``--cache-dir DIR`` (on every grid command) attaches the persistent on-disk
+evaluation store (see :mod:`repro.cache`): the first run populates the
+directory, every later run -- in any process -- replays its grid points from
+disk, and ``repro cache stats``/``repro cache prune`` inspect and reclaim it.
 """
 
 from __future__ import annotations
@@ -90,6 +97,16 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache_flag(parser: argparse.ArgumentParser) -> None:
+    """Attach the persistent-cache flag shared by the grid commands."""
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent on-disk evaluation cache: the first run populates "
+        "the directory, later runs (in any process) serve their grid points "
+        "from it; results are bit-identical either way",
+    )
+
+
 def _package_version() -> str:
     """The version of the code actually running.
 
@@ -144,6 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="skip the (slow) Fig. 4 validation grid"
     )
     _add_executor_flags(figures)
+    _add_cache_flag(figures)
 
     predict = subparsers.add_parser(
         "predict", help="show the FlexWatts mode Algorithm 1 selects for an operating point"
@@ -183,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--output", default=None, help="write to this file instead of stdout")
     _add_executor_flags(sweep)
+    _add_cache_flag(sweep)
 
     simulate = subparsers.add_parser(
         "simulate",
@@ -211,6 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--output", default=None, help="write to this file instead of stdout")
     _add_executor_flags(simulate)
+    _add_cache_flag(simulate)
 
     optimize = subparsers.add_parser(
         "optimize",
@@ -263,6 +283,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     optimize.add_argument("--output", default=None, help="write to this file instead of stdout")
     _add_executor_flags(optimize)
+    _add_cache_flag(optimize)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or prune a persistent on-disk evaluation cache"
+    )
+    cache.add_argument(
+        "action", choices=("stats", "prune"),
+        help="stats: per-namespace entry counts and sizes; prune: delete "
+        "entries (all, or only those older than --older-than)",
+    )
+    cache.add_argument(
+        "--cache-dir", required=True, metavar="DIR",
+        help="the cache directory to inspect or prune",
+    )
+    cache.add_argument(
+        "--older-than", type=float, default=None, metavar="SECONDS",
+        help="prune only entries older than this many seconds "
+        "(default: prune everything)",
+    )
+    cache.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
     export = subparsers.add_parser(
         "export", help="export a paper-figure dataset as JSON or CSV"
@@ -274,6 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     export.add_argument("--output", default=None, help="write to this file instead of stdout")
     _add_executor_flags(export)
+    _add_cache_flag(export)
 
     return parser
 
@@ -351,12 +392,16 @@ def run_cost(spot: PdnSpot, tdp_w: float, as_json: bool = False) -> str:
 
 
 def run_figures(
-    quick: bool, executor: ExecutorLike = None, jobs: Optional[int] = None
+    quick: bool,
+    executor: ExecutorLike = None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> str:
     from repro.experiments.runner import run_all_experiments
 
     outputs = run_all_experiments(
-        include_validation=not quick, executor=executor, jobs=jobs
+        include_validation=not quick, executor=executor, jobs=jobs,
+        cache_dir=cache_dir,
     )
     sections = []
     for key in sorted(outputs):
@@ -468,14 +513,17 @@ def run_simulate(
     output_format: str = "table",
     executor: ExecutorLike = None,
     jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> str:
     """Run scenario simulations and render the summary result set.
 
     ``--jobs``/``--executor`` dispatch the ``(scenario, PDN)`` grid through a
     parallel backend; the rendered output is bit-identical to the serial run.
+    ``--cache-dir`` persists every simulation, so an identical later run --
+    in any process -- replays from disk.
     """
     study = build_simulate_study(scenarios, tdps, seed, pdns)
-    resultset = run_sim(study, executor=executor, jobs=jobs)
+    resultset = run_sim(study, executor=executor, jobs=jobs, cache_dir=cache_dir)
     return _render(resultset, output_format, title="Scenario simulation")
 
 
@@ -535,6 +583,7 @@ def run_optimize(
     output_format: str = "table",
     executor: ExecutorLike = None,
     jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> str:
     """Run a design-space search and render the annotated result set.
 
@@ -558,6 +607,7 @@ def run_optimize(
         settings=settings,
         executor=executor,
         jobs=jobs,
+        cache_dir=cache_dir,
     )
     rendered = _render(
         outcome.results,
@@ -585,12 +635,16 @@ def run_optimize(
 
 
 def export_dataset(
-    dataset: str, executor: ExecutorLike = None, jobs: Optional[int] = None
+    dataset: str,
+    executor: ExecutorLike = None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> ResultSet:
     """Regenerate one exportable figure dataset as a :class:`ResultSet`.
 
-    ``executor`` / ``jobs`` parallelise the grid-backed datasets (the Fig. 4
-    grids); the small closed-form datasets (Fig. 2/3) ignore them.
+    ``executor`` / ``jobs`` parallelise (and ``cache_dir`` persists) the
+    grid-backed datasets (the Fig. 4 grids); the small closed-form datasets
+    (Fig. 2/3) ignore them.
     """
     from repro.experiments import (
         fig2_performance_model,
@@ -605,9 +659,13 @@ def export_dataset(
     if dataset == "fig3":
         return fig3_vr_efficiency.vr_efficiency_resultset()
     if dataset == "fig4-grid":
-        return fig4_validation.etee_grid_resultset(executor=executor, jobs=jobs)
+        return fig4_validation.etee_grid_resultset(
+            executor=executor, jobs=jobs, cache_dir=cache_dir
+        )
     if dataset == "fig4-power-states":
-        return fig4_validation.power_state_grid_resultset(executor=executor, jobs=jobs)
+        return fig4_validation.power_state_grid_resultset(
+            executor=executor, jobs=jobs, cache_dir=cache_dir
+        )
     raise ValueError(f"unknown dataset {dataset!r}; choose from: {', '.join(EXPORT_DATASETS)}")
 
 
@@ -616,8 +674,55 @@ def run_export(
     output_format: str = "json",
     executor: ExecutorLike = None,
     jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> str:
-    return _render(export_dataset(dataset, executor=executor, jobs=jobs), output_format)
+    return _render(
+        export_dataset(dataset, executor=executor, jobs=jobs, cache_dir=cache_dir),
+        output_format,
+    )
+
+
+def run_cache_command(
+    action: str,
+    cache_dir: str,
+    older_than_s: Optional[float] = None,
+    as_json: bool = False,
+) -> str:
+    """Inspect (``stats``) or reclaim (``prune``) a cache directory."""
+    from repro.cache import cache_dir_summary, prune_cache_dir
+
+    if action == "stats" and older_than_s is not None:
+        # Accepting-and-ignoring the flag would let a user misread the full
+        # footprint as an age-filtered one before pruning on it.
+        raise ConfigurationError("--older-than only applies to `cache prune`")
+    if action == "prune":
+        removed = prune_cache_dir(cache_dir, older_than_s)
+        if as_json:
+            return json.dumps(
+                {"cache_dir": cache_dir, "removed_entries": removed}, indent=2
+            )
+        return f"pruned {removed} entries from {cache_dir}"
+    summary = cache_dir_summary(cache_dir)
+    if as_json:
+        return json.dumps(
+            {
+                "cache_dir": cache_dir,
+                "namespaces": {
+                    namespace: {"entries": entries, "size_bytes": size_bytes}
+                    for namespace, (entries, size_bytes) in summary.items()
+                },
+            },
+            indent=2,
+        )
+    rows = [
+        [namespace, entries, size_bytes]
+        for namespace, (entries, size_bytes) in summary.items()
+    ]
+    if not rows:
+        return f"no cache entries under {cache_dir}"
+    return format_table(
+        ["namespace", "entries", "bytes"], rows, title=f"Disk cache {cache_dir}"
+    )
 
 
 def _emit(text: str, output: Optional[str]) -> None:
@@ -655,12 +760,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "figures":
-        print(run_figures(args.quick, executor=args.executor, jobs=args.jobs))
+        print(
+            run_figures(
+                args.quick,
+                executor=args.executor,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+            )
+        )
+        return 0
+    if args.command == "cache":
+        print(
+            run_cache_command(
+                args.action, args.cache_dir, args.older_than, as_json=args.json
+            )
+        )
         return 0
     if args.command == "export":
         _emit(
             run_export(
-                args.dataset, args.format, executor=args.executor, jobs=args.jobs
+                args.dataset,
+                args.format,
+                executor=args.executor,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
             ),
             args.output,
         )
@@ -679,6 +802,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 output_format=args.format,
                 executor=args.executor,
                 jobs=args.jobs,
+                cache_dir=args.cache_dir,
             ),
             args.output,
         )
@@ -693,11 +817,12 @@ def _dispatch(args: argparse.Namespace) -> int:
                 output_format=args.format,
                 executor=args.executor,
                 jobs=args.jobs,
+                cache_dir=args.cache_dir,
             ),
             args.output,
         )
         return 0
-    spot = PdnSpot()
+    spot = PdnSpot(disk_cache=getattr(args, "cache_dir", None))
     if args.command == "etee":
         print(run_etee(spot, args.tdp, args.ar, args.workload, as_json=args.json))
     elif args.command == "performance":

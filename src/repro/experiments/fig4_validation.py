@@ -49,6 +49,7 @@ def etee_grid_resultset(
     spot: Optional[PdnSpot] = None,
     executor: ExecutorLike = None,
     jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> ResultSet:
     """The Fig. 4(a-i) predicted-ETEE grid as a :class:`ResultSet`.
 
@@ -56,6 +57,8 @@ def etee_grid_resultset(
     experiment runner does); standalone calls evaluate fresh PDN instances.
     ``executor`` / ``jobs`` select a parallel backend; this is the largest
     per-figure grid, so it is the first to benefit from ``--jobs``.
+    ``cache_dir`` attaches the persistent disk tier (see :mod:`repro.cache`)
+    to a freshly built engine; ignored when ``spot`` is passed.
     """
     study = (
         Study.builder("fig4-etee-grid")
@@ -65,8 +68,8 @@ def etee_grid_resultset(
         .pdns(*pdn_names)
         .build()
     )
-    if spot is None and parallel_requested(executor, jobs):
-        spot = PdnSpot(pdn_names=list(pdn_names))
+    if spot is None and (cache_dir is not None or parallel_requested(executor, jobs)):
+        spot = PdnSpot(pdn_names=list(pdn_names), disk_cache=cache_dir)
     if spot is not None:
         return spot.run(study, executor=executor, jobs=jobs)
     return evaluate_study(study, [build_pdn(name) for name in pdn_names])
@@ -90,13 +93,14 @@ def power_state_grid_resultset(
     spot: Optional[PdnSpot] = None,
     executor: ExecutorLike = None,
     jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> ResultSet:
     """The Fig. 4(j) power-state grid as a :class:`ResultSet`."""
     study = Study.over_power_states(tdp_w, name="fig4-power-states").with_pdns(
         *pdn_names
     )
-    if spot is None and parallel_requested(executor, jobs):
-        spot = PdnSpot(pdn_names=list(pdn_names))
+    if spot is None and (cache_dir is not None or parallel_requested(executor, jobs)):
+        spot = PdnSpot(pdn_names=list(pdn_names), disk_cache=cache_dir)
     if spot is not None:
         return spot.run(study, executor=executor, jobs=jobs)
     return evaluate_study(study, [build_pdn(name) for name in pdn_names])

@@ -42,15 +42,18 @@ def optimize_outcome(
     spot: Optional[PdnSpot] = None,
     executor: ExecutorLike = None,
     jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> OptimizationOutcome:
     """Exhaustive search of the topology space under the default objectives.
 
     Pass the experiment runner's shared :class:`PdnSpot` so the search
     resolves the operating points it shares with the fig7/fig8 sweeps from
-    the warm memo cache instead of recomputing them.
+    the warm memo cache instead of recomputing them.  ``cache_dir`` attaches
+    the persistent disk tier (see :mod:`repro.cache`); with a shared spot it
+    covers the simulation engine behind the energy/power objectives.
     """
     evaluator = (
-        CandidateEvaluator(resolve_objectives(), spot=spot)
+        CandidateEvaluator(resolve_objectives(), spot=spot, cache_dir=cache_dir)
         if spot is not None
         else None
     )
@@ -60,6 +63,7 @@ def optimize_outcome(
         evaluator=evaluator,
         executor=executor,
         jobs=jobs,
+        cache_dir=cache_dir if evaluator is None else None,
     )
 
 
@@ -67,9 +71,12 @@ def format_optimize(
     spot: Optional[PdnSpot] = None,
     executor: ExecutorLike = None,
     jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> str:
     """Render the search outcome plus the front / knee-point conclusion."""
-    outcome = optimize_outcome(spot=spot, executor=executor, jobs=jobs)
+    outcome = optimize_outcome(
+        spot=spot, executor=executor, jobs=jobs, cache_dir=cache_dir
+    )
     headers = ["PDN"] + [objective.column for objective in outcome.objectives] + [
         "pareto", "knee",
     ]

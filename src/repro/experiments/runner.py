@@ -28,6 +28,7 @@ def run_all_experiments(
     spot: Optional[PdnSpot] = None,
     executor: ExecutorLike = None,
     jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, str]:
     """Regenerate every figure and return the formatted tables keyed by id.
 
@@ -46,8 +47,16 @@ def run_all_experiments(
         :mod:`repro.analysis.executor`), forwarded to every figure driver
         that evaluates PDN grids; the figure *outputs* are identical either
         way, only the evaluation schedule changes.
+    cache_dir:
+        Optional persistent cache directory (see :mod:`repro.cache`): the
+        shared analytic engine and the simulation/optimization engines
+        attach it as their disk tier, so a second ``repro figures`` run --
+        in any process -- replays every grid point from disk.  Ignored when
+        a prebuilt ``spot`` is passed (the spot owns its own tiers), except
+        by the simulation engine, which is always built here.
     """
-    spot = spot if spot is not None else PdnSpot()
+    if spot is None:
+        spot = PdnSpot(disk_cache=cache_dir)
     outputs: Dict[str, str] = {
         "fig2a": fig2_performance_model.format_figure2a(),
         "fig2b": fig2_performance_model.format_figure2b(),
@@ -55,9 +64,11 @@ def run_all_experiments(
         "fig5": fig5_loss_breakdown.format_figure5(spot=spot, executor=executor, jobs=jobs),
         "fig7": fig7_spec_4w.format_figure7(spot=spot, executor=executor, jobs=jobs),
         "fig8": fig8_evaluation.format_figure8(spot=spot, executor=executor, jobs=jobs),
-        "sim": sim_scenarios.format_sim_scenarios(executor=executor, jobs=jobs),
+        "sim": sim_scenarios.format_sim_scenarios(
+            executor=executor, jobs=jobs, cache_dir=cache_dir
+        ),
         "optimize": optimize_pdn.format_optimize(
-            spot=spot, executor=executor, jobs=jobs
+            spot=spot, executor=executor, jobs=jobs, cache_dir=cache_dir
         ),
     }
     if include_validation:

@@ -52,9 +52,15 @@ def scenario_resultset(
     tdps_w: Sequence[float] = SIM_TDPS_W,
     executor: ExecutorLike = None,
     jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> ResultSet:
-    """Summary rows of every ``(scenario, TDP, PDN)`` simulation."""
-    engine = engine if engine is not None else SimEngine()
+    """Summary rows of every ``(scenario, TDP, PDN)`` simulation.
+
+    ``cache_dir`` attaches the persistent disk tier (see :mod:`repro.cache`)
+    to a freshly built engine; ignored when an ``engine`` is passed.
+    """
+    if engine is None:
+        engine = SimEngine(disk_cache=cache_dir)
     return engine.run(scenario_study(scenarios, tdps_w), executor=executor, jobs=jobs)
 
 
@@ -62,9 +68,12 @@ def format_sim_scenarios(
     engine: Optional[SimEngine] = None,
     executor: ExecutorLike = None,
     jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> str:
     """Energy per scenario normalised to IVR, plus FlexWatts switch counts."""
-    results = scenario_resultset(engine, executor=executor, jobs=jobs)
+    results = scenario_resultset(
+        engine, executor=executor, jobs=jobs, cache_dir=cache_dir
+    )
     normalised = results.normalize_to(
         "IVR",
         value_columns=("total_energy_j",),

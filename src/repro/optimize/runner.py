@@ -79,6 +79,7 @@ def run_optimization(
     evaluator: Optional[CandidateEvaluator] = None,
     executor: ExecutorLike = None,
     jobs: Optional[int] = None,
+    cache_dir: Optional[object] = None,
 ) -> OptimizationOutcome:
     """Search ``space`` against multiple objectives and rank the outcome.
 
@@ -108,12 +109,22 @@ def run_optimization(
     executor / jobs:
         Parallel backend forwarded to every candidate batch; results are
         bit-identical to the serial search.
+    cache_dir:
+        Optional persistent cache directory (see :mod:`repro.cache`)
+        attached to the fresh evaluator's engines; a warm directory serves
+        repeated candidate evaluations from disk across processes.
+        Mutually exclusive with a prebuilt ``evaluator``.
     """
     resolved = resolve_objectives(objectives)
     if evaluator is not None:
         if settings is not None or parameters is not None:
             raise ConfigurationError(
                 "pass either a prebuilt evaluator or settings/parameters, not both"
+            )
+        if cache_dir is not None:
+            raise ConfigurationError(
+                "pass either a prebuilt evaluator or cache_dir; attach the "
+                "disk cache when building the evaluator instead"
             )
         if tuple(evaluator.objectives) != resolved:
             raise ConfigurationError(
@@ -122,7 +133,7 @@ def run_optimization(
             )
     else:
         evaluator = CandidateEvaluator(
-            resolved, settings=settings, parameters=parameters
+            resolved, settings=settings, parameters=parameters, cache_dir=cache_dir
         )
     search = make_strategy(strategy, budget=budget, seed=seed)
 

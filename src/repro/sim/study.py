@@ -32,12 +32,20 @@ True
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.analysis.executor import ExecutorLike, make_executor
+from repro.analysis.executor import ExecutorLike, TwoTierCacheMixin, make_executor
 from repro.analysis.pdnspot import CacheInfo, PdnSpot
+from repro.cache import (
+    DiskCache,
+    DiskCacheLike,
+    canonical_key,
+    parameters_fingerprint,
+    resolve_disk_cache,
+)
 from repro.analysis.resultset import Record, ResultSet
 from repro.analysis.study import OverrideKey, _flatten, _freeze_overrides
 from repro.core.flexwatts import FlexWattsPdn
@@ -249,7 +257,7 @@ def _copy_result(result: SimulationResult) -> SimulationResult:
     return replace(result, phase_records=list(result.phase_records))
 
 
-class SimEngine:
+class SimEngine(TwoTierCacheMixin):
     """Memo-cached, executor-compatible trace-simulation engine.
 
     The engine owns a :class:`~repro.analysis.pdnspot.PdnSpot` (PDN models,
@@ -272,6 +280,18 @@ class SimEngine:
     enable_cache:
         Whether simulations (and phase evaluations) are memoised.  Worker
         processes disable it -- their units are already deduplicated.
+    disk_cache:
+        Optional second cache tier.  A cache-directory path attaches *two*
+        stores rooted there: one for this engine's simulation results
+        (namespace ``"sim"``) and one for the phase-level operating-point
+        evaluations of the backing analytic engine (namespace
+        ``"pdnspot"``), so a warm directory serves whole simulations and
+        still accelerates partially overlapping grids.  Disk addresses
+        additionally digest the trace *content* rebuilt from the scenario
+        registry, so a re-registered generator (same name, different trace)
+        invalidates its entries rather than replaying stale results.  A
+        pre-built :class:`~repro.cache.DiskCache` instance attaches to the
+        simulation tier only.  Requires ``enable_cache=True``.
     """
 
     def __init__(
@@ -280,13 +300,31 @@ class SimEngine:
         pdn_names: Optional[Sequence[str]] = None,
         baseline_name: str = "IVR",
         enable_cache: bool = True,
+        disk_cache: DiskCacheLike = None,
     ):
+        if disk_cache is not None and not enable_cache:
+            raise ConfigurationError(
+                "disk_cache requires enable_cache=True: the disk tier sits "
+                "behind the memo cache"
+            )
         self._spot = PdnSpot(
             parameters=parameters,
             pdn_names=pdn_names,
             baseline_name=baseline_name,
             enable_cache=enable_cache,
+            disk_cache=disk_cache if not isinstance(disk_cache, DiskCache) else None,
         )
+        self._disk_cache = resolve_disk_cache(
+            disk_cache,
+            namespace="sim",
+            fingerprint=parameters_fingerprint(self._spot.parameters),
+        )
+        #: Trace-content digests keyed by (scenario, seed): part of the
+        #: *disk* address of every simulation, so a re-registered scenario
+        #: generator (same name, different trace) can never replay another
+        #: generator's persisted results.  In-memory keys stay name-based --
+        #: the registry is fixed within a process.
+        self._trace_digests: Dict[Tuple[str, int], str] = {}
         self._baseline_name = baseline_name
         self._cache_enabled = enable_cache
         self._cache: Dict[Tuple[object, ...], SimulationResult] = {}
@@ -338,7 +376,8 @@ class SimEngine:
         The simulation memo, its statistics, the cross-run mode-evaluation
         memo and the backing analytic engine's phase cache are all cleared;
         calibrated predictors are model state and survive (rebuild the engine
-        to drop those).
+        to drop those).  Attached disk stores also survive -- use
+        :meth:`DiskCache.prune` to reclaim them.
         """
         with self._cache_lock:
             self._cache.clear()
@@ -353,23 +392,40 @@ class SimEngine:
         """The memo-cache key of one simulation unit."""
         return (overrides, pdn_name, point)
 
-    def cache_lookup(self, key: Tuple[object, ...]) -> Optional[SimulationResult]:
-        """A caller-owned copy of a cached simulation (counted as a hit)."""
-        with self._cache_lock:
-            cached = self._cache.get(key)
-            if cached is None:
-                return None
-            self._cache_hits += 1
-            return _copy_result(cached)
+    @property
+    def disk_cache(self) -> Optional[DiskCache]:
+        """The attached simulation-result store (second cache tier), if any."""
+        return self._disk_cache
 
-    def cache_install(
-        self, key: Tuple[object, ...], result: SimulationResult
-    ) -> SimulationResult:
-        """Merge one computed simulation into the cache (counted as a miss)."""
+    def _disk_key(self, key: Tuple[object, ...]) -> Tuple[object, ...]:
+        """The on-disk address of one simulation: the memo key + trace digest.
+
+        The memo key references the trace by ``(scenario, seed)`` *name*,
+        which is sound in-process (the registry cannot change under a run)
+        but not across runs: a user can re-register a scenario generator
+        and re-run against the same cache directory.  Digesting the actual
+        trace content into the disk address makes such entries invisible
+        instead of stale -- at the cost of one trace rebuild per
+        ``(scenario, seed)`` per process, which is noise next to a
+        simulation.
+        """
+        point = key[2]
+        ident = (point.scenario, point.seed)
         with self._cache_lock:
-            self._cache_misses += 1
-            self._cache[key] = result
-            return _copy_result(result)
+            digest = self._trace_digests.get(ident)
+        if digest is None:
+            trace = build_scenario_trace(point.scenario, seed=point.seed)
+            digest = hashlib.sha256(
+                canonical_key(trace).encode("utf-8")
+            ).hexdigest()[:16]
+            with self._cache_lock:
+                digest = self._trace_digests.setdefault(ident, digest)
+        return (*key, ("trace", digest))
+
+    # Two-tier cache_lookup / cache_install come from TwoTierCacheMixin
+    # (with _disk_key above adding the trace digest to disk addresses).
+    _payload_type = SimulationResult
+    _copy_cached = staticmethod(_copy_result)
 
     def worker_config(self) -> SimWorkerConfig:
         """The picklable recipe process-pool workers rebuild this engine from."""
@@ -554,17 +610,25 @@ def run_sim(
     parameters: Optional[PdnTechnologyParameters] = None,
     executor: ExecutorLike = None,
     jobs: Optional[int] = None,
+    cache_dir: DiskCacheLike = None,
 ) -> ResultSet:
     """Execute ``study`` and return its summary :class:`ResultSet`.
 
     The convenience entry point behind the CLI ``simulate`` sub-command:
     builds a default :class:`SimEngine` (or uses the supplied one) and
-    forwards ``executor``/``jobs`` to the execution backend.
+    forwards ``executor``/``jobs`` to the execution backend.  ``cache_dir``
+    attaches the persistent on-disk tier (see :mod:`repro.cache`): a warm
+    directory serves every repeated simulation from disk.
     """
     if engine is not None and parameters is not None:
         raise ConfigurationError(
             "pass either a prebuilt engine or parameters, not both"
         )
+    if engine is not None and cache_dir is not None:
+        raise ConfigurationError(
+            "pass either a prebuilt engine or cache_dir; attach the disk "
+            "cache when building the engine instead"
+        )
     if engine is None:
-        engine = SimEngine(parameters=parameters)
+        engine = SimEngine(parameters=parameters, disk_cache=cache_dir)
     return engine.run(study, executor=executor, jobs=jobs)

@@ -1,0 +1,235 @@
+"""The ISSUE 5 serialization bugfixes: RFC-8259 JSON and the CSV round-trip.
+
+``ResultSet.to_json`` used to emit bare ``NaN`` tokens (which ``jq`` and
+JavaScript's ``JSON.parse`` reject), and the documented "JSON/CSV
+round-trip" had no ``from_csv`` at all.  These tests pin the fixed
+behaviour: strict JSON output with an exact NaN/inf restore, a typed
+``from_csv``, and the NaN-aware equality that makes the round-trip
+assertable.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.resultset import MISSING, ResultSet
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def mixed_resultset() -> ResultSet:
+    """A ragged table mixing strings, ints, floats, NaN, ±inf and dicts."""
+    return ResultSet.from_records(
+        [
+            {"pdn": "IVR", "etee": float("nan"), "count": 3, "tdp_w": 4.0},
+            {"pdn": "FlexWatts", "etee": 0.912, "label": "knee", "flag": True},
+            {"pdn": "LDO", "etee": math.inf, "parameters": {"a": 1.5, "b": 2}},
+            {"pdn": "MBVR", "etee": -math.inf, "tdp_w": 50.0},
+        ],
+        name="mixed",
+    )
+
+
+class TestStrictJson:
+    def test_no_bare_nan_or_infinity_tokens(self, mixed_resultset):
+        text = mixed_resultset.to_json()
+        assert "NaN" not in text
+        assert "Infinity" not in text
+
+    def test_output_parses_with_strict_decoders(self, mixed_resultset):
+        # json.loads with a rejecting parse_constant is the stand-in for
+        # jq / JSON.parse: it raises on any non-RFC-8259 token.
+        def reject(token):
+            raise AssertionError(f"non-RFC-8259 token {token!r} in output")
+
+        payload = json.loads(mixed_resultset.to_json(), parse_constant=reject)
+        assert payload["name"] == "mixed"
+
+    def test_nan_serialises_as_null(self, mixed_resultset):
+        payload = json.loads(mixed_resultset.to_json())
+        etee_index = payload["columns"].index("etee")
+        assert payload["rows"][0][etee_index] is None
+
+    def test_round_trip_restores_nan_and_infinities(self, mixed_resultset):
+        back = ResultSet.from_json(mixed_resultset.to_json())
+        assert back == mixed_resultset
+        etee = back.column("etee")
+        assert math.isnan(etee[0])
+        assert etee[2] == math.inf
+        assert etee[3] == -math.inf
+
+    def test_round_trip_keeps_missing_cells_missing(self, mixed_resultset):
+        back = ResultSet.from_json(mixed_resultset.to_json())
+        assert back.column("label")[0] is MISSING
+        assert back.column("label")[1] == "knee"
+        # Missing cells must not have become NaN (the naive null->nan fix
+        # would conflate the two meanings of null).
+        assert not isinstance(back.column("label")[0], float)
+
+    def test_no_mask_key_without_non_finite_cells(self):
+        finite = ResultSet.from_records([{"a": 1.0, "b": "x"}])
+        payload = json.loads(finite.to_json())
+        assert "non_finite" not in payload
+
+    def test_old_payloads_without_mask_still_load(self):
+        text = json.dumps(
+            {"name": "old", "columns": ["a", "b"], "rows": [[1, None]]}
+        )
+        back = ResultSet.from_json(text)
+        assert back.column("b")[0] is MISSING
+
+    @pytest.mark.parametrize(
+        "position", [[0], [0, 1, 2], "00", 7, [0, "1"]],
+        ids=["short", "long", "string", "scalar", "non-int"],
+    )
+    def test_malformed_mask_position_rejected_cleanly(self, position):
+        text = json.dumps(
+            {
+                "columns": ["a"],
+                "rows": [[None]],
+                "non_finite": {"nan": [position]},
+            }
+        )
+        with pytest.raises(ConfigurationError, match="non_finite position"):
+            ResultSet.from_json(text)
+
+    @pytest.mark.parametrize(
+        "position", [[5, 0], [0, 5], [-1, 0], [0, 0]],
+        ids=["row-oob", "col-oob", "negative", "non-null-cell"],
+    )
+    def test_mask_pointing_at_missing_or_non_null_cell_rejected(self, position):
+        # [0, 0] points at a non-null cell; the rest are out of range.  A
+        # truncated/edited payload must fail instead of silently turning
+        # NaN cells into MISSING.
+        text = json.dumps(
+            {
+                "columns": ["a", "b"],
+                "rows": [[1.0, None]],
+                "non_finite": {"nan": [position]},
+            }
+        )
+        with pytest.raises(ConfigurationError, match="null cell"):
+            ResultSet.from_json(text)
+
+    def test_unknown_mask_label_rejected(self):
+        text = json.dumps(
+            {
+                "columns": ["a"],
+                "rows": [[None]],
+                "non_finite": {"wat": [[0, 0]]},
+            }
+        )
+        with pytest.raises(ConfigurationError, match="wat"):
+            ResultSet.from_json(text)
+
+    def test_indent_and_default_str_preserved(self, mixed_resultset):
+        assert "\n" in mixed_resultset.to_json(indent=2)
+
+    def test_nested_non_finite_in_container_cells_does_not_raise(self):
+        # Positions inside a dict/list cell cannot be mask-addressed; they
+        # degrade to null instead of crashing allow_nan=False (or emitting
+        # the bare NaN token the fix exists to prevent).
+        rs = ResultSet.from_records(
+            [
+                {
+                    "pdn": "IVR",
+                    "parameters": {"x": float("nan"), "y": 1.5},
+                    "trace": [1.0, math.inf, 2.0],
+                }
+            ]
+        )
+        payload = json.loads(rs.to_json())
+        row = payload["rows"][0]
+        assert row[payload["columns"].index("parameters")] == {"x": None, "y": 1.5}
+        assert row[payload["columns"].index("trace")] == [1.0, None, 2.0]
+        # The original cells are untouched (to_json never mutates).
+        assert math.isnan(rs.column("parameters")[0]["x"])
+
+    def test_non_finite_in_namedtuple_cell_does_not_raise(self):
+        import collections
+
+        Point = collections.namedtuple("Point", ["x", "y"])
+        rs = ResultSet.from_records(
+            [{"pdn": "IVR", "point": Point(float("nan"), 1.0)}]
+        )
+        payload = json.loads(rs.to_json())
+        cell = payload["rows"][0][payload["columns"].index("point")]
+        assert cell == [None, 1.0]
+
+    def test_non_finite_dict_keys_do_not_raise(self):
+        rs = ResultSet.from_records(
+            [{"pdn": "IVR", "weird": {float("nan"): 1.0, math.inf: 2.0}}]
+        )
+        payload = json.loads(rs.to_json())
+        cell = payload["rows"][0][payload["columns"].index("weird")]
+        assert cell == {"nan": 1.0, "inf": 2.0}
+
+
+class TestFromCsv:
+    def test_round_trip_mixed_table(self, mixed_resultset):
+        back = ResultSet.from_csv(mixed_resultset.to_csv(), name="mixed")
+        assert back == mixed_resultset
+        assert back.columns == mixed_resultset.columns
+        assert back.name == "mixed"
+
+    def test_typed_column_restore(self, mixed_resultset):
+        back = ResultSet.from_csv(mixed_resultset.to_csv())
+        assert back.column("count")[0] == 3
+        assert isinstance(back.column("count")[0], int)
+        assert isinstance(back.column("tdp_w")[0], float)
+        assert math.isnan(back.column("etee")[0])
+        assert back.column("flag")[1] is True
+        assert back.column("parameters")[2] == {"a": 1.5, "b": 2}
+        assert back.column("pdn") == ["IVR", "FlexWatts", "LDO", "MBVR"]
+
+    def test_empty_cells_become_missing(self, mixed_resultset):
+        back = ResultSet.from_csv(mixed_resultset.to_csv())
+        assert back.column("label")[0] is MISSING
+        assert back.column("count")[1] is MISSING
+
+    def test_engine_output_round_trips(self):
+        from repro.analysis.pdnspot import PdnSpot
+        from repro.analysis.study import Study
+
+        resultset = PdnSpot().run(Study.over_tdps([4.0, 18.0]))
+        assert ResultSet.from_csv(resultset.to_csv(), name=resultset.name) == resultset
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ConfigurationError, match="header"):
+            ResultSet.from_csv("")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ConfigurationError, match="line 3"):
+            ResultSet.from_csv("a,b\n1,2\n1,2,3\n")
+
+    def test_duplicate_header_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            ResultSet.from_csv("a,a\n1,2\n")
+
+    def test_header_only_is_empty_resultset(self):
+        back = ResultSet.from_csv("a,b\n")
+        assert len(back) == 0
+        assert back.columns == ("a", "b")
+
+
+class TestNanAwareEquality:
+    def test_nan_cells_compare_equal_in_same_position(self):
+        left = ResultSet.from_records([{"x": float("nan"), "y": 1}])
+        right = ResultSet.from_records([{"x": float("nan"), "y": 1}])
+        assert left == right
+
+    def test_differing_values_still_unequal(self):
+        left = ResultSet.from_records([{"x": float("nan"), "y": 1}])
+        right = ResultSet.from_records([{"x": float("nan"), "y": 2}])
+        assert left != right
+
+    def test_nan_against_number_unequal(self):
+        left = ResultSet.from_records([{"x": float("nan")}])
+        right = ResultSet.from_records([{"x": 0.0}])
+        assert left != right
+
+    def test_column_order_still_matters(self):
+        left = ResultSet({"a": [1], "b": [2]})
+        right = ResultSet({"b": [2], "a": [1]})
+        assert left != right

@@ -294,3 +294,86 @@ class TestMain:
         captured = capsys.readouterr()
         assert captured.out == ""  # stdout stays clean for --format json piping
         assert "BOGUS" in captured.err
+
+
+class TestCacheFlags:
+    """The persistent-cache surface: --cache-dir and `repro cache`."""
+
+    def test_cache_dir_flag_on_grid_commands(self):
+        for argv in (
+            ["sweep", "--tdps", "4", "--cache-dir", "/tmp/c"],
+            ["simulate", "--cache-dir", "/tmp/c"],
+            ["optimize", "--cache-dir", "/tmp/c"],
+            ["export", "fig3", "--cache-dir", "/tmp/c"],
+            ["figures", "--cache-dir", "/tmp/c"],
+        ):
+            assert build_parser().parse_args(argv).cache_dir == "/tmp/c"
+
+    def test_cache_subcommand_parses(self):
+        args = build_parser().parse_args(
+            ["cache", "prune", "--cache-dir", "/tmp/c", "--older-than", "60"]
+        )
+        assert args.action == "prune"
+        assert args.older_than == pytest.approx(60.0)
+
+    def test_cache_subcommand_requires_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "stats"])
+
+    def test_sweep_with_cache_dir_matches_cacheless(self, tmp_path, capsys):
+        argv = ["sweep", "--tdps", "4", "18", "--format", "json"]
+        assert main(argv) == 0
+        reference = capsys.readouterr().out
+        cached = argv + ["--cache-dir", str(tmp_path)]
+        assert main(cached) == 0  # cold: populates the directory
+        assert capsys.readouterr().out == reference
+        assert main(cached) == 0  # warm: served from disk
+        assert capsys.readouterr().out == reference
+
+    def test_simulate_with_cache_dir_matches_cacheless(self, tmp_path, capsys):
+        argv = [
+            "simulate", "--scenario", "duty-cycled-background",
+            "--pdns", "IVR", "LDO", "--format", "json",
+        ]
+        assert main(argv) == 0
+        reference = capsys.readouterr().out
+        cached = argv + ["--cache-dir", str(tmp_path)]
+        assert main(cached) == 0
+        assert capsys.readouterr().out == reference
+        assert main(cached) == 0
+        assert capsys.readouterr().out == reference
+
+    def test_cache_stats_and_prune_round_trip(self, tmp_path, capsys):
+        directory = str(tmp_path)
+        assert main(["sweep", "--tdps", "4", "--cache-dir", directory,
+                     "--format", "csv"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", directory, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["namespaces"]["pdnspot"]["entries"] == 5  # 5 PDNs x 1 TDP
+        assert main(["cache", "prune", "--cache-dir", directory, "--json"]) == 0
+        pruned = json.loads(capsys.readouterr().out)
+        assert pruned["removed_entries"] == 5
+        assert main(["cache", "stats", "--cache-dir", directory, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["namespaces"]["pdnspot"]["entries"] == 0
+
+    def test_cache_stats_empty_directory(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "no cache entries" in capsys.readouterr().out
+
+    def test_cache_stats_rejects_older_than(self, tmp_path, capsys):
+        # Accepting-and-ignoring the flag would invite misreading the
+        # unfiltered footprint as an age-filtered one.
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path),
+                     "--older-than", "60"]) == 1
+        assert "cache prune" in capsys.readouterr().err
+
+    def test_sweep_json_with_nan_is_strict(self, tmp_path, capsys):
+        # `repro sweep --format json` output must parse under strict decoders
+        # (the ISSUE's jq / JSON.parse consumers).
+        assert main(["sweep", "--tdps", "4", "--format", "json"]) == 0
+        out = capsys.readouterr().out
+        json.loads(out, parse_constant=lambda token: (_ for _ in ()).throw(
+            AssertionError(f"non-RFC-8259 token {token!r}")
+        ))
