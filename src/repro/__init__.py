@@ -18,6 +18,11 @@ The library has two halves, mirroring the paper:
   plus an interval simulator (:mod:`repro.sim`) that exercises the adaptive
   behaviour over time-varying workloads.
 
+Both engines share a two-tier evaluation cache (:mod:`repro.cache`) and can
+be served from one warm long-running process (:mod:`repro.serve`,
+``repro serve``) that coalesces concurrent overlapping requests into
+single-flight evaluations.
+
 Quickstart
 ----------
 >>> from repro import PdnSpot, Study
@@ -62,9 +67,10 @@ from repro.sim import (
     SimulationResult,
     run_sim,
 )
+from repro.serve import EvaluationServer, ServeClient
 from repro.workloads.scenarios import available_scenarios, build_scenario_trace
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "PdnSpot",
@@ -104,5 +110,7 @@ __all__ = [
     "DesignSpace",
     "OptimizationOutcome",
     "run_optimization",
+    "EvaluationServer",
+    "ServeClient",
     "__version__",
 ]

@@ -17,6 +17,7 @@ from repro.cache.store import (
     DiskCacheLike,
     DiskCacheStats,
     cache_dir_summary,
+    cache_stats_payload,
     canonical_key,
     parameters_fingerprint,
     prune_cache_dir,
@@ -29,6 +30,7 @@ __all__ = [
     "DiskCacheLike",
     "DiskCacheStats",
     "cache_dir_summary",
+    "cache_stats_payload",
     "canonical_key",
     "parameters_fingerprint",
     "prune_cache_dir",

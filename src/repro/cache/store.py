@@ -529,6 +529,26 @@ def cache_dir_summary(root: Union[str, Path]) -> Dict[str, Tuple[int, int]]:
     return summary
 
 
+def cache_stats_payload(root: Union[str, Path]) -> Dict[str, object]:
+    """The JSON stats document of a cache directory (the shared schema).
+
+    The single source of the on-disk cache stats schema: ``repro cache
+    stats --json`` prints exactly this mapping, and the evaluation
+    service's ``GET /v1/stats`` embeds it as its ``cache.disk`` section,
+    so the two surfaces can never drift apart.  Keys: ``cache_dir`` (the
+    inspected root, as given) and ``namespaces`` (per-namespace
+    ``{"entries", "size_bytes"}`` footprints from
+    :func:`cache_dir_summary`).
+    """
+    return {
+        "cache_dir": str(root),
+        "namespaces": {
+            namespace: {"entries": entries, "size_bytes": size_bytes}
+            for namespace, (entries, size_bytes) in cache_dir_summary(root).items()
+        },
+    }
+
+
 def prune_cache_dir(
     root: Union[str, Path], older_than_s: Optional[float] = None
 ) -> int:

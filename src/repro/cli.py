@@ -16,6 +16,8 @@ The CLI exposes the most common analyses without writing any Python::
     python -m repro optimize --strategy random --budget 12 --seed 7 --jobs 4
     python -m repro cache stats --cache-dir ~/.cache/repro
     python -m repro cache prune --cache-dir ~/.cache/repro --older-than 604800
+    python -m repro serve --cache-dir ~/.cache/repro --jobs 4
+    python -m repro sweep --tdps 4 18 50 --server http://127.0.0.1:8737
 
 Every sub-command prints a plain-text table by default (no plotting
 dependency); ``--json`` (and ``--format json|csv`` on ``sweep``/``export``)
@@ -28,6 +30,10 @@ evaluate the grid through a parallel backend with identical results.
 evaluation store (see :mod:`repro.cache`): the first run populates the
 directory, every later run -- in any process -- replays its grid points from
 disk, and ``repro cache stats``/``repro cache prune`` inspect and reclaim it.
+``repro serve`` keeps one warm process behind an HTTP/JSON API (see
+:mod:`repro.serve`): concurrent clients coalesce onto single-flight
+evaluations, and ``--server URL`` on ``sweep``/``simulate``/``optimize``
+routes through it with automatic local fallback when it is unreachable.
 """
 
 from __future__ import annotations
@@ -35,7 +41,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from repro.analysis.executor import EXECUTORS, ExecutorLike
 from repro.analysis.pdnspot import PdnSpot
@@ -43,19 +49,22 @@ from repro.optimize import (
     DEFAULT_OBJECTIVES,
     OBJECTIVES,
     STRATEGIES,
-    DesignSpace,
     EvaluationSettings,
     run_optimization,
 )
 from repro.analysis.reporting import format_mapping_table, format_table
 from repro.analysis.resultset import MISSING, ResultSet
-from repro.analysis.study import Study
 from repro.core.hybrid_vr import PdnMode
 from repro.core.runtime_estimator import RuntimeInputEstimator
 from repro.pdn.base import OperatingConditions
 from repro.power.domains import WorkloadType
 from repro.power.power_states import PackageCState
-from repro.sim.study import SimStudy, run_sim
+from repro.serve.protocol import (  # noqa: F401 - canonical home; re-exported
+    build_optimize_space,
+    build_simulate_study,
+    build_sweep_study,
+)
+from repro.sim.study import run_sim
 from repro.util.errors import ConfigurationError, ReproError
 from repro.workloads.graphics import THREEDMARK06_BENCHMARKS
 from repro.workloads.scenarios import DEFAULT_SEED, available_scenarios
@@ -104,6 +113,17 @@ def _add_cache_flag(parser: argparse.ArgumentParser) -> None:
         help="persistent on-disk evaluation cache: the first run populates "
         "the directory, later runs (in any process) serve their grid points "
         "from it; results are bit-identical either way",
+    )
+
+
+def _add_server_flag(parser: argparse.ArgumentParser) -> None:
+    """Attach the remote-evaluation flag shared by the grid commands."""
+    parser.add_argument(
+        "--server", default=None, metavar="URL",
+        help="route the evaluation through a running `repro serve` daemon "
+        "(e.g. http://127.0.0.1:8737); output is bit-identical to a local "
+        "run, and an unreachable server falls back to local engines with a "
+        "warning on stderr",
     )
 
 
@@ -202,6 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--output", default=None, help="write to this file instead of stdout")
     _add_executor_flags(sweep)
     _add_cache_flag(sweep)
+    _add_server_flag(sweep)
 
     simulate = subparsers.add_parser(
         "simulate",
@@ -231,6 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--output", default=None, help="write to this file instead of stdout")
     _add_executor_flags(simulate)
     _add_cache_flag(simulate)
+    _add_server_flag(simulate)
 
     optimize = subparsers.add_parser(
         "optimize",
@@ -284,6 +306,41 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("--output", default=None, help="write to this file instead of stdout")
     _add_executor_flags(optimize)
     _add_cache_flag(optimize)
+    _add_server_flag(optimize)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-running evaluation service (one warm two-tier "
+        "cache behind an HTTP/JSON API with request coalescing)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=None, metavar="N",
+        help="TCP port (default: 8737; 0 binds an ephemeral port)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="default per-request evaluation deadline (default: 60); "
+        "requests may lower or raise it up to --max-timeout",
+    )
+    serve.add_argument(
+        "--max-timeout", type=float, default=600.0, metavar="SECONDS",
+        help="hard cap on client-supplied timeout_s values (default: 600)",
+    )
+    serve.add_argument(
+        "--max-units", type=int, default=50_000, metavar="N",
+        help="per-request budget: the most evaluation units one request may "
+        "decompose into before it is rejected with 413 (default: 50000)",
+    )
+    serve.add_argument(
+        "--batch-window", type=float, default=0.0, metavar="SECONDS",
+        help="extra coalescing window before dispatching a batch (default: "
+        "0, flush every event-loop tick)",
+    )
+    _add_executor_flags(serve)
+    _add_cache_flag(serve)
 
     cache = subparsers.add_parser(
         "cache", help="inspect or prune a persistent on-disk evaluation cache"
@@ -443,32 +500,40 @@ def run_predict(
     )
 
 
-def build_sweep_study(
-    tdps: Sequence[float],
-    ars: Optional[Sequence[float]] = None,
-    workloads: Optional[Sequence[WorkloadType]] = None,
-    power_states: Optional[Sequence[PackageCState]] = None,
-    pdns: Optional[Sequence[str]] = None,
-) -> Study:
-    """Assemble the CLI ``sweep`` flags into a :class:`Study`."""
-    builder = Study.builder("cli-sweep").tdps(*tdps)
-    if ars:
-        builder.application_ratios(*ars)
-    if workloads:
-        builder.workload_types(*workloads)
-    if power_states:
-        builder.power_states(*power_states)
-    if pdns:
-        builder.pdns(*pdns)
-    return builder.build()
-
-
 def _render(resultset: ResultSet, output_format: str, title: str = "") -> str:
     if output_format == "json":
         return resultset.to_json(indent=2)
     if output_format == "csv":
         return resultset.to_csv()
     return _resultset_table(resultset, title=title)
+
+
+def _remote_evaluate(server: str, endpoint: str, **fields):
+    """One remote evaluation, or ``None`` when the daemon is unreachable.
+
+    Only :class:`~repro.serve.client.ServerUnavailable` falls back -- the
+    server rebuilding the same grid from the same fields makes the fallback
+    (and the remote path) bit-identical to a local run.  Server-side
+    *errors* (schema, budget, deadline) are request problems and propagate
+    as :class:`ReproError` for ``main`` to render.
+    """
+    from repro.serve.client import ServeClient, ServerUnavailable
+
+    client = ServeClient(server)
+    try:
+        return getattr(client, endpoint)(**fields)
+    except ServerUnavailable as error:
+        print(
+            f"warning: {error}; falling back to local evaluation",
+            file=sys.stderr,
+        )
+        return None
+
+
+def _remote_resultset(server: str, endpoint: str, **fields) -> Optional[ResultSet]:
+    """The result set of one remote evaluation (``None``: fall back local)."""
+    response = _remote_evaluate(server, endpoint, **fields)
+    return response.resultset if response is not None else None
 
 
 def run_sweep(
@@ -481,28 +546,18 @@ def run_sweep(
     output_format: str = "table",
     executor: ExecutorLike = None,
     jobs: Optional[int] = None,
+    server: Optional[str] = None,
 ) -> str:
+    if server is not None:
+        resultset = _remote_resultset(
+            server, "sweep", tdps=tdps, ars=ars, workloads=workloads,
+            power_states=power_states, pdns=pdns,
+        )
+        if resultset is not None:
+            return _render(resultset, output_format, title="Study sweep")
     study = build_sweep_study(tdps, ars, workloads, power_states, pdns)
     resultset = spot.run(study, executor=executor, jobs=jobs)
     return _render(resultset, output_format, title="Study sweep")
-
-
-def build_simulate_study(
-    scenarios: Optional[Sequence[str]] = None,
-    tdps: Sequence[float] = (18.0,),
-    seed: int = DEFAULT_SEED,
-    pdns: Optional[Sequence[str]] = None,
-) -> SimStudy:
-    """Assemble the CLI ``simulate`` flags into a :class:`SimStudy`."""
-    builder = (
-        SimStudy.builder("cli-simulate")
-        .scenarios(*(scenarios if scenarios else available_scenarios()))
-        .tdps(*tdps)
-        .seeds(seed)
-    )
-    if pdns:
-        builder.pdns(*pdns)
-    return builder.build()
 
 
 def run_simulate(
@@ -514,14 +569,22 @@ def run_simulate(
     executor: ExecutorLike = None,
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    server: Optional[str] = None,
 ) -> str:
     """Run scenario simulations and render the summary result set.
 
     ``--jobs``/``--executor`` dispatch the ``(scenario, PDN)`` grid through a
     parallel backend; the rendered output is bit-identical to the serial run.
     ``--cache-dir`` persists every simulation, so an identical later run --
-    in any process -- replays from disk.
+    in any process -- replays from disk.  ``--server`` routes the grid
+    through a running daemon instead (same output, shared warm cache).
     """
+    if server is not None:
+        resultset = _remote_resultset(
+            server, "simulate", scenarios=scenarios, tdps=tdps, seed=seed, pdns=pdns
+        )
+        if resultset is not None:
+            return _render(resultset, output_format, title="Scenario simulation")
     study = build_simulate_study(scenarios, tdps, seed, pdns)
     resultset = run_sim(study, executor=executor, jobs=jobs, cache_dir=cache_dir)
     return _render(resultset, output_format, title="Scenario simulation")
@@ -558,17 +621,31 @@ def parse_parameter_axes(specs: Optional[Sequence[str]]) -> list:
     return axes
 
 
-def build_optimize_space(
-    pdns: Optional[Sequence[str]] = None,
-    param_axes: Optional[Sequence[Tuple[str, Sequence[object]]]] = None,
-) -> DesignSpace:
-    """Assemble the CLI ``optimize`` flags into a :class:`DesignSpace`."""
-    builder = DesignSpace.builder("cli-optimize")
-    if pdns:
-        builder.pdns(*pdns)
-    for name, values in param_axes or ():
-        builder.parameter(name, *values)
-    return builder.build()
+def _render_optimize(
+    results: ResultSet, front: ResultSet, knee, strategy: str, output_format: str
+) -> str:
+    """Render one search outcome (shared by the local and ``--server`` paths)."""
+    rendered = _render(
+        results, output_format, title=f"Design-space search ({strategy})"
+    )
+    if output_format != "table":
+        return rendered
+
+    def candidate_label(record) -> str:
+        """One candidate's display label: the PDN plus its sizing, if any."""
+        label = str(record["pdn"])
+        if "parameters" in record:
+            label += f" {record['parameters']}"
+        return label
+
+    front_labels = ", ".join(
+        candidate_label(record) for record in front.to_records()
+    )
+    footer = (
+        f"Pareto front: {front_labels}\n"
+        f"Knee point (balanced pick): {candidate_label(knee)}"
+    )
+    return f"{rendered}\n\n{footer}"
 
 
 def run_optimize(
@@ -584,14 +661,32 @@ def run_optimize(
     executor: ExecutorLike = None,
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    server: Optional[str] = None,
 ) -> str:
     """Run a design-space search and render the annotated result set.
 
     The evaluated candidates (with ``pareto``/``knee`` marker columns) are
     rendered through the same ``--format`` writers as ``sweep``/``export``;
     the table format appends the front and the knee-point recommendation.
+    With ``--server`` the search runs on the daemon and the front/knee are
+    reconstructed from the marker columns of the returned result set.
     """
-    space = build_optimize_space(pdns, parse_parameter_axes(param_specs))
+    param_axes = parse_parameter_axes(param_specs)
+    if server is not None:
+        response = _remote_evaluate(
+            server, "optimize",
+            objectives=objectives, strategy=strategy, budget=budget, seed=seed,
+            pdns=pdns, params=dict(param_axes) if param_axes else None,
+            tdps=tdps, scenarios=scenarios,
+        )
+        if response is not None:
+            results = response.resultset
+            front = results.filter(pareto=True)
+            knee = results.row(results.column("knee").index(True))
+            return _render_optimize(
+                results, front, knee, response.strategy or strategy, output_format
+            )
+    space = build_optimize_space(pdns, param_axes)
     settings_kwargs = {}
     if tdps:
         settings_kwargs["tdps_w"] = tuple(tdps)
@@ -609,29 +704,9 @@ def run_optimize(
         jobs=jobs,
         cache_dir=cache_dir,
     )
-    rendered = _render(
-        outcome.results,
-        output_format,
-        title=f"Design-space search ({outcome.strategy})",
+    return _render_optimize(
+        outcome.results, outcome.front, outcome.knee, outcome.strategy, output_format
     )
-    if output_format != "table":
-        return rendered
-
-    def candidate_label(record) -> str:
-        """One candidate's display label: the PDN plus its sizing, if any."""
-        label = str(record["pdn"])
-        if "parameters" in record:
-            label += f" {record['parameters']}"
-        return label
-
-    front_labels = ", ".join(
-        candidate_label(record) for record in outcome.front.to_records()
-    )
-    footer = (
-        f"Pareto front: {front_labels}\n"
-        f"Knee point (balanced pick): {candidate_label(outcome.knee)}"
-    )
-    return f"{rendered}\n\n{footer}"
 
 
 def export_dataset(
@@ -689,7 +764,7 @@ def run_cache_command(
     as_json: bool = False,
 ) -> str:
     """Inspect (``stats``) or reclaim (``prune``) a cache directory."""
-    from repro.cache import cache_dir_summary, prune_cache_dir
+    from repro.cache import cache_stats_payload, prune_cache_dir
 
     if action == "stats" and older_than_s is not None:
         # Accepting-and-ignoring the flag would let a user misread the full
@@ -702,21 +777,14 @@ def run_cache_command(
                 {"cache_dir": cache_dir, "removed_entries": removed}, indent=2
             )
         return f"pruned {removed} entries from {cache_dir}"
-    summary = cache_dir_summary(cache_dir)
+    # The same schema helper feeds the daemon's GET /v1/stats "disk" section,
+    # so the two observability surfaces cannot drift.
+    payload = cache_stats_payload(cache_dir)
     if as_json:
-        return json.dumps(
-            {
-                "cache_dir": cache_dir,
-                "namespaces": {
-                    namespace: {"entries": entries, "size_bytes": size_bytes}
-                    for namespace, (entries, size_bytes) in summary.items()
-                },
-            },
-            indent=2,
-        )
+        return json.dumps(payload, indent=2)
     rows = [
-        [namespace, entries, size_bytes]
-        for namespace, (entries, size_bytes) in summary.items()
+        [namespace, entry["entries"], entry["size_bytes"]]
+        for namespace, entry in payload["namespaces"].items()
     ]
     if not rows:
         return f"no cache entries under {cache_dir}"
@@ -769,6 +837,21 @@ def _dispatch(args: argparse.Namespace) -> int:
             )
         )
         return 0
+    if args.command == "serve":
+        from repro.serve.server import DEFAULT_PORT, EvaluationServer
+
+        server = EvaluationServer(
+            host=args.host,
+            port=args.port if args.port is not None else DEFAULT_PORT,
+            cache_dir=args.cache_dir,
+            executor=args.executor,
+            jobs=args.jobs,
+            timeout_s=args.timeout,
+            max_timeout_s=args.max_timeout,
+            max_units=args.max_units,
+            batch_window_s=args.batch_window,
+        )
+        return server.run()
     if args.command == "cache":
         print(
             run_cache_command(
@@ -803,6 +886,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 executor=args.executor,
                 jobs=args.jobs,
                 cache_dir=args.cache_dir,
+                server=args.server,
             ),
             args.output,
         )
@@ -818,6 +902,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 executor=args.executor,
                 jobs=args.jobs,
                 cache_dir=args.cache_dir,
+                server=args.server,
             ),
             args.output,
         )
@@ -845,6 +930,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 output_format=args.format,
                 executor=args.executor,
                 jobs=args.jobs,
+                server=args.server,
             ),
             args.output,
         )

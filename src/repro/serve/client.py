@@ -1,0 +1,283 @@
+"""A thin stdlib client of the evaluation service.
+
+:class:`ServeClient` speaks the :mod:`repro.serve.protocol` JSON dialect
+over ``urllib`` and rebuilds real :class:`~repro.analysis.resultset.ResultSet`
+objects from responses, so everything downstream of an engine call -- the
+CLI renderers, the plotting adapters, user code -- works identically on
+server results.  The round trip is bit-identical: the server embeds
+``ResultSet.to_json`` and the client rebuilds through
+``ResultSet.from_json``, whose equality round-trip is covered by the cache
+serialization tests.
+
+Failure taxonomy (what the CLI's ``--server`` fallback keys on):
+
+* :class:`ServerUnavailable` -- the daemon cannot be reached at all
+  (connection refused, DNS failure, socket timeout).  The CLI falls back
+  to local engines on this and only this.
+* :class:`ServerError` -- the daemon answered with an error document
+  (schema violation, budget, deadline, draining).  These are *request*
+  problems; falling back would silently re-run work the server refused,
+  so they propagate.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.analysis.resultset import ResultSet
+from repro.util.errors import ReproError
+
+#: Extra seconds of HTTP read timeout on top of a request's evaluation
+#: deadline, so the transport never gives up before the server answers.
+_TRANSPORT_MARGIN_S = 30.0
+
+
+class ServerUnavailable(ReproError):
+    """The evaluation service cannot be reached (connect/transport failure)."""
+
+
+class ServerError(ReproError):
+    """The evaluation service answered with an error document.
+
+    Attributes
+    ----------
+    code:
+        The HTTP status code (400 schema, 408 read timeout, 413 budget,
+        503 draining, 504 evaluation deadline, ...).
+    pointer:
+        The schema pointer of a 400, when the server named one.
+    payload:
+        The full decoded error document.
+    """
+
+    def __init__(self, code: int, message: str, payload: Optional[Dict] = None):
+        super().__init__(f"server answered {code}: {message}")
+        self.code = code
+        self.payload = payload or {}
+        self.pointer = self.payload.get("pointer")
+
+
+@dataclass(frozen=True)
+class EvaluationResponse:
+    """One decoded evaluation response (``ok`` or ``partial``).
+
+    Attributes
+    ----------
+    status:
+        ``"ok"`` for a complete evaluation, ``"partial"`` when the request
+        allowed partial results and the deadline cut the grid short.
+    endpoint:
+        Which endpoint answered (``sweep``/``simulate``/``optimize``).
+    resultset:
+        The rebuilt result set -- bit-identical to what the local engine
+        would have returned (for ``partial``: the completed rows, in
+        canonical order).
+    strategy:
+        The search strategy that ran (optimize responses only).
+    completed_units / total_units:
+        Grid coverage of a ``partial`` response (``None`` on ``ok``).
+    """
+
+    status: str
+    endpoint: str
+    resultset: ResultSet
+    strategy: Optional[str] = None
+    completed_units: Optional[int] = None
+    total_units: Optional[int] = None
+
+    @property
+    def partial(self) -> bool:
+        """Whether the deadline cut this evaluation short."""
+        return self.status == "partial"
+
+
+class ServeClient:
+    """A client of one running evaluation daemon.
+
+    Parameters
+    ----------
+    base_url:
+        The daemon's base URL, e.g. ``http://127.0.0.1:8737`` (a trailing
+        slash is tolerated).
+    timeout_s:
+        Default evaluation deadline sent with requests that do not carry
+        their own ``timeout_s``; also sizes the HTTP read timeout (with a
+        transport margin) so the socket outlives the evaluation.
+    """
+
+    def __init__(self, base_url: str, timeout_s: Optional[float] = None):
+        self._base_url = base_url.rstrip("/")
+        self._timeout_s = timeout_s
+
+    @property
+    def base_url(self) -> str:
+        """The daemon's base URL."""
+        return self._base_url
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def _http_timeout(self, body: Optional[Mapping[str, object]]) -> float:
+        """The socket timeout of one exchange (evaluation deadline + margin)."""
+        requested = None
+        if body is not None:
+            requested = body.get("timeout_s")
+        if requested is None:
+            requested = self._timeout_s
+        if requested is None:
+            requested = 600.0
+        return float(requested) + _TRANSPORT_MARGIN_S
+
+    def _exchange(
+        self, method: str, path: str, body: Optional[Mapping[str, object]] = None
+    ) -> Dict[str, object]:
+        """Run one HTTP exchange and decode the JSON document it returns."""
+        url = f"{self._base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self._http_timeout(body)
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                payload = {}
+            message = str(payload.get("error", raw[:200].decode("latin-1")))
+            raise ServerError(error.code, message, payload) from None
+        except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as error:
+            raise ServerUnavailable(
+                f"evaluation service at {self._base_url} is unreachable: {error}"
+            ) from None
+        except json.JSONDecodeError as error:
+            raise ServerError(502, f"non-JSON response body ({error})") from None
+
+    def _evaluate(self, endpoint: str, body: Dict[str, object]) -> EvaluationResponse:
+        """POST one evaluation request and rebuild its result set."""
+        if body.get("timeout_s") is None and self._timeout_s is not None:
+            body["timeout_s"] = self._timeout_s
+        clean = {name: value for name, value in body.items() if value is not None}
+        # allow_partial=False is the protocol default; don't send the noise.
+        if clean.get("allow_partial") is False:
+            del clean["allow_partial"]
+        payload = self._exchange("POST", f"/v1/{endpoint}", clean)
+        resultset = ResultSet.from_json(json.dumps(payload["resultset"]))
+        return EvaluationResponse(
+            status=str(payload.get("status", "ok")),
+            endpoint=str(payload.get("endpoint", endpoint)),
+            resultset=resultset,
+            strategy=payload.get("strategy"),
+            completed_units=payload.get("completed_units"),
+            total_units=payload.get("total_units"),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> Dict[str, object]:
+        """``GET /v1/healthz``: the liveness document."""
+        return self._exchange("GET", "/v1/healthz")
+
+    def stats(self) -> Dict[str, object]:
+        """``GET /v1/stats``: the full observability document."""
+        return self._exchange("GET", "/v1/stats")
+
+    def sweep(
+        self,
+        tdps: Sequence[float],
+        ars: Optional[Sequence[float]] = None,
+        workloads: Optional[Sequence[object]] = None,
+        power_states: Optional[Sequence[object]] = None,
+        pdns: Optional[Sequence[str]] = None,
+        timeout_s: Optional[float] = None,
+        allow_partial: bool = False,
+    ) -> EvaluationResponse:
+        """``POST /v1/sweep``: evaluate one analytic study grid remotely.
+
+        ``workloads`` and ``power_states`` accept either protocol strings or
+        the library's enum members (their ``value`` is sent).
+        """
+        body: Dict[str, object] = {
+            "tdps": list(tdps),
+            "ars": list(ars) if ars else None,
+            "workloads": _enum_values(workloads),
+            "power_states": _enum_values(power_states),
+            "pdns": list(pdns) if pdns else None,
+            "timeout_s": timeout_s,
+            "allow_partial": allow_partial,
+        }
+        return self._evaluate("sweep", body)
+
+    def simulate(
+        self,
+        scenarios: Optional[Sequence[str]] = None,
+        tdps: Optional[Sequence[float]] = None,
+        seed: Optional[int] = None,
+        pdns: Optional[Sequence[str]] = None,
+        timeout_s: Optional[float] = None,
+        allow_partial: bool = False,
+    ) -> EvaluationResponse:
+        """``POST /v1/simulate``: evaluate one scenario-simulation grid remotely."""
+        body: Dict[str, object] = {
+            "scenarios": list(scenarios) if scenarios else None,
+            "tdps": list(tdps) if tdps else None,
+            "seed": seed,
+            "pdns": list(pdns) if pdns else None,
+            "timeout_s": timeout_s,
+            "allow_partial": allow_partial,
+        }
+        return self._evaluate("simulate", body)
+
+    def optimize(
+        self,
+        objectives: Optional[Sequence[str]] = None,
+        strategy: Optional[str] = None,
+        budget: Optional[int] = None,
+        seed: Optional[int] = None,
+        pdns: Optional[Sequence[str]] = None,
+        params: Optional[Mapping[str, Sequence[float]]] = None,
+        tdps: Optional[Sequence[float]] = None,
+        scenarios: Optional[Sequence[str]] = None,
+        timeout_s: Optional[float] = None,
+    ) -> EvaluationResponse:
+        """``POST /v1/optimize``: run one design-space search remotely.
+
+        The returned result set carries the ``pareto``/``knee`` marker
+        columns, so the front and the knee row are reconstructed exactly as
+        the local runner computed them (``filter(pareto=True)`` and the
+        ``knee`` column).
+        """
+        body: Dict[str, object] = {
+            "objectives": list(objectives) if objectives else None,
+            "strategy": strategy,
+            "budget": budget,
+            "seed": seed,
+            "pdns": list(pdns) if pdns else None,
+            "params": (
+                {name: list(values) for name, values in params.items()}
+                if params
+                else None
+            ),
+            "tdps": list(tdps) if tdps else None,
+            "scenarios": list(scenarios) if scenarios else None,
+            "timeout_s": timeout_s,
+        }
+        return self._evaluate("optimize", body)
+
+
+def _enum_values(items: Optional[Sequence[object]]) -> Optional[list]:
+    """Map enum members (or strings) to their wire values."""
+    if not items:
+        return None
+    return [getattr(item, "value", item) for item in items]

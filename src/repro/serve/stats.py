@@ -1,0 +1,113 @@
+"""Observability of the evaluation service: latency histograms and counters.
+
+Everything ``GET /v1/stats`` reports is assembled here from three sources:
+
+* per-endpoint request counters and fixed-bucket latency histograms
+  (:class:`EndpointStats`, maintained by the server's request loop);
+* the coalescers' traffic counters
+  (:class:`~repro.serve.coalescer.CoalescerStats`);
+* the engines' cache statistics -- memory-tier hit/miss/size from
+  ``cache_info()`` and the on-disk footprint through
+  :func:`repro.cache.cache_stats_payload`, the **same** schema helper
+  behind ``repro cache stats --json``, so the two surfaces cannot drift.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+#: Upper bucket bounds (seconds) of the request-latency histograms.  Fixed
+#: and log-spaced so dashboards can diff histograms across processes; the
+#: terminal bucket is unbounded.
+LATENCY_BUCKET_BOUNDS_S: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, math.inf,
+)
+
+
+class LatencyHistogram:
+    """A fixed-bucket latency histogram (cumulative-free, JSON-ready)."""
+
+    def __init__(self) -> None:
+        self._counts: List[int] = [0] * len(LATENCY_BUCKET_BOUNDS_S)
+        self._count = 0
+        self._sum_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one request latency."""
+        for index, bound in enumerate(LATENCY_BUCKET_BOUNDS_S):
+            if seconds <= bound:
+                self._counts[index] += 1
+                break
+        self._count += 1
+        self._sum_s += seconds
+
+    @property
+    def count(self) -> int:
+        """Number of recorded observations."""
+        return self._count
+
+    def as_dict(self) -> Dict[str, object]:
+        """The histogram as a JSON-ready mapping (stable key order)."""
+        buckets = {
+            ("inf" if math.isinf(bound) else f"{bound:g}"): count
+            for bound, count in zip(LATENCY_BUCKET_BOUNDS_S, self._counts)
+        }
+        return {"count": self._count, "sum_s": self._sum_s, "buckets": buckets}
+
+
+class EndpointStats:
+    """Request counters of one endpoint (count, errors, latency)."""
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.errors = 0
+        self.latency = LatencyHistogram()
+
+    def observe(self, elapsed_s: float, error: bool) -> None:
+        """Record one handled request and its outcome."""
+        self.requests += 1
+        if error:
+            self.errors += 1
+        self.latency.observe(elapsed_s)
+
+    def as_dict(self) -> Dict[str, object]:
+        """The counters as a JSON-ready mapping (stable key order)."""
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "latency": self.latency.as_dict(),
+        }
+
+
+def memory_cache_section(engines: Dict[str, object]) -> Dict[str, object]:
+    """The memory-tier cache section of the stats payload.
+
+    One ``{"hits", "misses", "hit_rate", "size"}`` entry per named engine,
+    read through the engines' ``cache_info()`` surface.
+    """
+    section: Dict[str, object] = {}
+    for name, engine in engines.items():
+        info = engine.cache_info()
+        section[name] = {
+            "hits": info.hits,
+            "misses": info.misses,
+            "hit_rate": info.hit_rate,
+            "size": info.size,
+        }
+    return section
+
+
+def disk_cache_section(cache_dir: Optional[str]) -> Optional[Dict[str, object]]:
+    """The on-disk cache section: the shared ``cache stats --json`` schema.
+
+    ``None`` when the server runs without a persistent cache directory;
+    otherwise exactly :func:`repro.cache.cache_stats_payload`, which is
+    also what ``repro cache stats --json`` prints.
+    """
+    if cache_dir is None:
+        return None
+    from repro.cache import cache_stats_payload
+
+    return cache_stats_payload(cache_dir)

@@ -1,0 +1,88 @@
+"""CLI ``--server`` routing: identical output, clean fallback, error surfacing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.pdnspot import PdnSpot
+from repro.cli import main, run_optimize, run_simulate, run_sweep
+from repro.serve import start_in_thread
+
+DEAD_SERVER = "http://127.0.0.1:1"  # reserved port: connection always refused
+
+
+@pytest.fixture(scope="module")
+def warm_server():
+    with start_in_thread() as handle:
+        yield handle
+
+
+class TestServerRouting:
+    @pytest.mark.parametrize("output_format", ["table", "json", "csv"])
+    def test_sweep_output_is_identical(self, warm_server, output_format):
+        kwargs = dict(
+            tdps=[4.0, 18.0], ars=[0.4], pdns=["FlexWatts", "LDO"],
+            output_format=output_format,
+        )
+        local = run_sweep(PdnSpot(), **kwargs)
+        remote = run_sweep(PdnSpot(), server=warm_server.base_url, **kwargs)
+        assert remote == local
+
+    def test_simulate_output_is_identical(self, warm_server):
+        kwargs = dict(
+            scenarios=["bursty-interactive"], tdps=[18.0], pdns=["IVR"],
+            output_format="csv",
+        )
+        local = run_simulate(**kwargs)
+        remote = run_simulate(server=warm_server.base_url, **kwargs)
+        assert remote == local
+
+    def test_optimize_output_is_identical_including_footer(self, warm_server):
+        kwargs = dict(pdns=["FlexWatts", "LDO", "MBVR"], budget=6)
+        local = run_optimize(**kwargs)
+        remote = run_optimize(server=warm_server.base_url, **kwargs)
+        assert remote == local
+        assert "Knee point (balanced pick):" in remote
+
+    def test_main_routes_through_server(self, warm_server, capsys):
+        argv_local = ["sweep", "--tdps", "4", "--pdns", "IVR", "--format", "csv"]
+        assert main(argv_local) == 0
+        local = capsys.readouterr().out
+        assert (
+            main(argv_local + ["--server", warm_server.base_url]) == 0
+        )
+        remote = capsys.readouterr().out
+        assert remote == local
+
+
+class TestServerFallback:
+    def test_unreachable_server_falls_back_to_local(self, capsys):
+        local = run_sweep(PdnSpot(), tdps=[4.0], pdns=["IVR"], output_format="csv")
+        capsys.readouterr()
+        fallback = run_sweep(
+            PdnSpot(), tdps=[4.0], pdns=["IVR"], output_format="csv",
+            server=DEAD_SERVER,
+        )
+        captured = capsys.readouterr()
+        assert fallback == local
+        assert "falling back to local evaluation" in captured.err
+
+    def test_fallback_exit_code_is_success(self, capsys):
+        rc = main(
+            ["simulate", "--scenario", "bursty-interactive", "--pdns", "IVR",
+             "--format", "csv", "--server", DEAD_SERVER]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "falling back to local evaluation" in captured.err
+
+    def test_server_side_request_error_propagates(self, warm_server, capsys):
+        """Server *errors* (vs unreachability) must not silently fall back."""
+        rc = main(
+            ["sweep", "--tdps", "4", "--pdns", "NotAPdn",
+             "--server", warm_server.base_url]
+        )
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert captured.err.startswith("error: server answered 400")
+        assert "falling back" not in captured.err
