@@ -73,7 +73,7 @@ def main() -> None:
 
     # 3. Inside one adaptive run: per-phase power and the mode trajectory.
     point = SimPoint(scenario="bursty-interactive", tdp_w=50.0)
-    run = engine.evaluate_cached("FlexWatts", point, ())
+    run = engine.evaluate("FlexWatts", point)
     phases = phases_to_resultset(run)
     switches = phases.filter(mode_switched=True)
     print(

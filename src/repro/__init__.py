@@ -70,7 +70,7 @@ from repro.sim import (
 from repro.serve import EvaluationServer, ServeClient
 from repro.workloads.scenarios import available_scenarios, build_scenario_trace
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "PdnSpot",

@@ -16,8 +16,8 @@ the multi-dimensional exploration tool the paper describes.
   results back into the :class:`PdnSpot` cache.
 * :mod:`repro.analysis.resultset` -- the columnar :class:`ResultSet` container
   with filter/pivot/normalise helpers and JSON/CSV serialisation.
-* :mod:`repro.analysis.sweep` -- legacy sweep helpers (deprecated shims over
-  the Study engine).
+* :mod:`repro.analysis.sweep` -- tombstone of the removed legacy sweep
+  helpers (importing one raises with its Study replacement spelled out).
 * :mod:`repro.analysis.validation` -- the model-validation harness that mimics
   Sec. 4.3: a synthetic "measured" reference with parameter perturbations and
   measurement noise, against which the models' ETEE predictions are scored.
@@ -36,7 +36,6 @@ from repro.analysis.executor import (
 from repro.analysis.pdnspot import CacheInfo, PdnSpot
 from repro.analysis.resultset import MISSING, ResultSet
 from repro.analysis.study import Scenario, Study, StudyBuilder, evaluate_study
-from repro.analysis.sweep import sweep_application_ratio, sweep_power_states, sweep_tdp
 from repro.analysis.validation import ValidationHarness, ValidationRecord, ValidationSummary
 from repro.analysis.comparison import normalised_metric_table
 from repro.analysis.reporting import format_table
@@ -56,9 +55,6 @@ __all__ = [
     "ResultSet",
     "MISSING",
     "evaluate_study",
-    "sweep_tdp",
-    "sweep_application_ratio",
-    "sweep_power_states",
     "ValidationHarness",
     "ValidationRecord",
     "ValidationSummary",
@@ -67,3 +63,13 @@ __all__ = [
     "SensitivityAnalysis",
     "SensitivityRecord",
 ]
+
+
+def __getattr__(name: str):
+    # The removed sweep_* helpers were re-exported here; route the lookup to
+    # the tombstone module so both import spellings raise the same guidance.
+    from repro.analysis import sweep as _sweep
+
+    if name in _sweep._REMOVED:
+        return getattr(_sweep, name)  # raises ImportError with the mapping
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

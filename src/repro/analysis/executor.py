@@ -144,7 +144,39 @@ class EvaluationEngine(Protocol):
     def evaluate_uncached(
         self, pdn_name: str, point: EvalPoint, overrides: OverrideKey
     ) -> EvalResult:
-        """Compute one unit without touching the memo cache."""
+        """Compute one unit without touching the memo cache.
+
+        The single-unit compute seam (the reference oracle): every dispatched
+        unit that cannot ride :meth:`evaluate_columns` lands here.
+        """
+        ...  # pragma: no cover - protocol
+
+    @property
+    def columnar_enabled(self) -> bool:
+        """Whether :meth:`evaluate_columns` may accept batches.
+
+        Executors consult this *before* sharding: a columnar-capable engine
+        gets its tasks grouped into whole column blocks (one ``(pdn,
+        overrides)`` run of units per stretch) and larger minimum chunk
+        sizes, because a vectorized pass amortises per-batch overhead that a
+        per-point engine does not have.
+        """
+        ...  # pragma: no cover - protocol
+
+    def evaluate_columns(
+        self, units: Sequence[EvalUnit]
+    ) -> Optional[List[EvalResult]]:
+        """Vectorized batch evaluation, or ``None`` to decline the batch.
+
+        The capability half of the columnar negotiation: an engine that can
+        evaluate ``units`` as column arrays returns the results in unit
+        order, bit-identical to calling :meth:`evaluate_uncached` per unit
+        (the per-point path is the reference oracle; the equivalence suite
+        gates the two).  Returning ``None`` -- always, for engines without a
+        vectorized core (the simulation engine), or per batch, when a unit
+        resists columnarisation (patched models, out-of-domain points) --
+        routes the whole batch through the per-point seam instead.
+        """
         ...  # pragma: no cover - protocol
 
     def prime_for_execution(self, units: Iterable[EvalUnit]) -> None:
@@ -284,6 +316,10 @@ class WorkerConfig:
     parameters: "PdnTechnologyParameters"
     pdn_names: Tuple[str, ...]
     baseline_name: str
+    #: Whether the rebuilt engine keeps the vectorized columnar path enabled
+    #: (mirrors the parent engine's setting, so worker shards take the same
+    #: fast path the parent would have).
+    columnar: bool = True
 
     def build_engine(self) -> "EvaluationEngine":
         """Build the worker-local evaluation engine."""
@@ -294,6 +330,7 @@ class WorkerConfig:
             pdn_names=list(self.pdn_names),
             baseline_name=self.baseline_name,
             enable_cache=False,
+            columnar=self.columnar,
         )
 
     # Backwards-compatible spelling from when the recipe was PdnSpot-only.
@@ -382,7 +419,7 @@ class Executor(ABC):
                 else:
                     primaries[key] = slot
             tasks: List[Task] = [(slot, *unit_list[slot]) for slot in primaries.values()]
-            chunks = shard(tasks, self.jobs)
+            chunks = shard(*self._plan_shards(engine, tasks))
             if self.uses_parent_models or len(chunks) == 1:
                 # Only the dispatched units need their models primed (a fully
                 # warm batch never reaches the workers); the single-chunk case
@@ -404,7 +441,7 @@ class Executor(ABC):
                 results[slot] = resolved
         else:
             tasks = [(slot, *unit) for slot, unit in enumerate(unit_list)]
-            chunks = shard(tasks, self.jobs)
+            chunks = shard(*self._plan_shards(engine, tasks))
             if self.uses_parent_models or len(chunks) == 1:
                 engine.prime_for_execution(unit_list)
             for chunk_result in self._run_chunks(engine, chunks):
@@ -417,6 +454,29 @@ class Executor(ABC):
             )
         return results
 
+    def _plan_shards(
+        self, engine: EvaluationEngine, tasks: List[Task]
+    ) -> Tuple[List[Task], int]:
+        """The (task order, shard count) this backend dispatches with.
+
+        For per-point engines this is the historical plan: input order,
+        sharded into up to ``jobs`` contiguous chunks.  For columnar-capable
+        engines the tasks are first grouped by ``(pdn name, overrides)`` --
+        stable within each group, groups in first-appearance order -- so
+        contiguous chunks become whole column blocks, and the shard count is
+        capped so no chunk drops below :data:`MIN_COLUMNAR_CHUNK` units
+        (a vectorized pass over a sliver is all fixed overhead).  Both plans
+        are deterministic functions of ``(engine capability, tasks, jobs)``.
+        """
+        if not getattr(engine, "columnar_enabled", False):
+            return tasks, self.jobs
+        groups: Dict[Tuple[str, OverrideKey], List[Task]] = {}
+        for task in tasks:
+            groups.setdefault((task[1], task[3]), []).append(task)
+        ordered = [task for group in groups.values() for task in group]
+        shards = min(self.jobs, max(1, len(ordered) // MIN_COLUMNAR_CHUNK))
+        return ordered, shards
+
     @abstractmethod
     def _run_chunks(
         self, engine: EvaluationEngine, chunks: List[List[Task]]
@@ -424,10 +484,29 @@ class Executor(ABC):
         """Evaluate every chunk, yielding completed chunks in any order."""
 
 
+#: Minimum units per chunk when the engine evaluates columns: below this a
+#: chunk's vectorized pass is dominated by its fixed per-batch overhead, so
+#: the planner prefers fewer, fatter shards (worker start-up costs more than
+#: the lost overlap).
+MIN_COLUMNAR_CHUNK = 128
+
+
 def _evaluate_chunk_in_process(
     engine: EvaluationEngine, chunk: List[Task]
 ) -> ChunkResult:
-    """Evaluate one task chunk against the caller's own engine (no cache I/O)."""
+    """Evaluate one task chunk against the caller's own engine (no cache I/O).
+
+    This is where the columnar negotiation happens, once per chunk: a
+    columnar-capable engine gets the whole chunk as one batch and returns
+    bit-identical results in one vectorized pass per ``(pdn, overrides)``
+    column block; if it declines (no capability, patched models, points that
+    resist columnarisation) every unit runs through the per-point seam.
+    """
+    evaluate_columns = getattr(engine, "evaluate_columns", None)
+    if evaluate_columns is not None:
+        evaluations = evaluate_columns([task[1:] for task in chunk])
+        if evaluations is not None:
+            return [(task[0], result) for task, result in zip(chunk, evaluations)]
     return [
         (slot, engine.evaluate_uncached(name, point, overrides))
         for slot, name, point, overrides in chunk

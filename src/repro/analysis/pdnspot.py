@@ -30,6 +30,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.analysis.executor import (
     EvalUnit,
     ExecutorLike,
+    SerialExecutor,
     TwoTierCacheMixin,
     WorkerConfig,
     make_executor,
@@ -43,6 +44,7 @@ from repro.analysis.study import (
 )
 from repro.cost.board_area import BoardAreaModel
 from repro.cost.bom import BomModel
+from repro.pdn import columnar as columnar_core
 from repro.pdn.base import (
     OperatingConditions,
     PdnEvaluation,
@@ -120,6 +122,14 @@ class PdnSpot(TwoTierCacheMixin):
         misses fall through to disk, computed evaluations write through, so
         a directory warmed by one process serves identical runs in any
         later process.  Requires ``enable_cache=True``.
+    columnar:
+        Whether batches may be evaluated through the vectorized columnar
+        core (:mod:`repro.pdn.columnar`) instead of one Python call per
+        point.  Results are bit-identical either way (the per-point path is
+        the reference oracle gating the columnar kernels); disabling
+        reproduces the per-point evaluation cost, which the ``vectorized-
+        eval`` benchmarks compare against.  Requires NumPy; without it the
+        flag silently degrades to per-point evaluation.
     """
 
     def __init__(
@@ -129,6 +139,7 @@ class PdnSpot(TwoTierCacheMixin):
         baseline_name: str = "IVR",
         enable_cache: bool = True,
         disk_cache: DiskCacheLike = None,
+        columnar: bool = True,
     ):
         self.parameters = parameters if parameters is not None else default_parameters()
         names = list(pdn_names) if pdn_names is not None else available_pdns()
@@ -163,6 +174,7 @@ class PdnSpot(TwoTierCacheMixin):
             namespace="pdnspot",
             fingerprint=parameters_fingerprint(self.parameters),
         )
+        self._columnar = bool(columnar) and columnar_core.HAVE_NUMPY
         #: Parameter-override PDN variants, keyed by (overrides, pdn name).
         self._variants: Dict[Tuple[OverrideKey, str], PowerDeliveryNetwork] = {}
 
@@ -256,13 +268,17 @@ class PdnSpot(TwoTierCacheMixin):
     ) -> PdnEvaluation:
         """Evaluate one PDN at one operating point, bypassing the memo cache.
 
-        This is the raw model evaluation executor workers run; the driver owns
-        the cache interaction (:meth:`cache_lookup` / :meth:`cache_install`),
-        so neither the mapping nor the counters are touched here.
+        The :class:`~repro.analysis.executor.EvaluationEngine` protocol's
+        single-unit compute seam (the reference oracle the columnar path is
+        gated against); executor workers call it for every unit that does not
+        ride :meth:`evaluate_columns`.  The driver owns the cache interaction
+        (:meth:`cache_lookup` / :meth:`cache_install`), so neither the
+        mapping nor the counters are touched here.  Not public sugar -- use
+        :meth:`evaluate` or :meth:`evaluate_units`.
         """
         return self._variant_pdn(pdn_name, overrides).evaluate(conditions)
 
-    def evaluate_cached(
+    def _evaluate_cached(
         self,
         pdn_name: str,
         conditions: OperatingConditions,
@@ -278,12 +294,100 @@ class PdnSpot(TwoTierCacheMixin):
         evaluation = self.evaluate_uncached(pdn_name, conditions, overrides)
         return self.cache_install(key, evaluation)
 
+    def evaluate_cached(
+        self,
+        pdn_name: str,
+        conditions: OperatingConditions,
+        overrides: OverrideKey = (),
+    ) -> PdnEvaluation:
+        """Thin alias of :meth:`evaluate` (the historical spelling).
+
+        Retained so pre-consolidation callers keep working; new code should
+        call :meth:`evaluate` for one point or :meth:`evaluate_units` for a
+        batch.
+        """
+        return self._evaluate_cached(pdn_name, conditions, overrides)
+
+    # ------------------------------------------------------------------ #
+    # Columnar capability (the vectorized half of the engine protocol)
+    # ------------------------------------------------------------------ #
+
+    #: Instance-level replacements of any of these mark a patched engine
+    #: (tests gate concurrency or inject failures by swapping them); a
+    #: patched engine declines columnar batches so every unit flows through
+    #: the patched seam.
+    _ENGINE_PATCHABLE = ("evaluate_uncached", "_evaluate_cached", "evaluate_cached", "evaluate")
+
+    @property
+    def columnar_enabled(self) -> bool:
+        """Whether batches may take the vectorized columnar path."""
+        return self._columnar
+
+    def evaluate_columns(
+        self, units: Sequence[EvalUnit]
+    ) -> Optional[List[PdnEvaluation]]:
+        """Evaluate a batch of units through the vectorized columnar core.
+
+        Units are grouped into ``(pdn name, overrides)`` column blocks and
+        each block is computed in one NumPy pass per metric
+        (:func:`repro.pdn.columnar.evaluate_columns`); the column layout is
+        shared between blocks over the same conditions, so a five-PDN study
+        grid builds its :class:`~repro.pdn.columnar.ConditionsBatch` once.
+        Results are returned in unit order and are bit-identical to
+        :meth:`evaluate_uncached` per unit.
+
+        A block whose model declines columnarisation (patched instance, an
+        operating point the scalar model would reject with a precise error)
+        silently falls back to the per-point oracle for that block only.
+        Returns ``None`` -- declining the whole batch -- when the columnar
+        path is disabled or this engine instance itself is patched.
+        """
+        if not self._columnar:
+            return None
+        if any(name in self.__dict__ for name in self._ENGINE_PATCHABLE):
+            return None
+        unit_list = list(units)
+        if not unit_list:
+            return []
+        groups: Dict[Tuple[str, OverrideKey], List[int]] = {}
+        for index, (name, _, overrides) in enumerate(unit_list):
+            groups.setdefault((name, overrides), []).append(index)
+        results: List[Optional[PdnEvaluation]] = [None] * len(unit_list)
+        # One ConditionsBatch per distinct conditions sequence: study grids
+        # evaluate every PDN over the same points, so the column layout is
+        # built once and shared by all five blocks.  Identity keys are safe
+        # here -- the conditions objects are pinned by unit_list for the
+        # whole call.
+        batches: Dict[Tuple[int, ...], Optional[columnar_core.ConditionsBatch]] = {}
+        for (name, overrides), indices in groups.items():
+            conditions = [unit_list[i][1] for i in indices]
+            layout_key = tuple(map(id, conditions))
+            if layout_key in batches:
+                batch = batches[layout_key]
+            else:
+                batch = columnar_core.ConditionsBatch.from_conditions(conditions)
+                batches[layout_key] = batch
+            evaluations = None
+            if batch is not None:
+                pdn = self._variant_pdn(name, overrides)
+                evaluations = columnar_core.evaluate_columns(
+                    pdn, conditions, batch=batch
+                )
+            if evaluations is None:
+                evaluations = [
+                    self.evaluate_uncached(name, c, overrides) for c in conditions
+                ]
+            for index, evaluation in zip(indices, evaluations):
+                results[index] = evaluation
+        return results
+
     def worker_config(self) -> WorkerConfig:
         """The picklable recipe process-pool workers rebuild this engine from."""
         return WorkerConfig(
             parameters=self.parameters,
             pdn_names=tuple(self._pdns),
             baseline_name=self._baseline_name,
+            columnar=self._columnar,
         )
 
     def prime_for_execution(self, units: Iterable[EvalUnit]) -> None:
@@ -310,7 +414,7 @@ class PdnSpot(TwoTierCacheMixin):
     ) -> PdnEvaluation:
         """Cached evaluator for collaborators that hold PDN instances."""
         if pdn is self._pdns.get(pdn.name):
-            return self.evaluate_cached(pdn.name, conditions)
+            return self._evaluate_cached(pdn.name, conditions)
         return pdn.evaluate(conditions)
 
     def evaluate_units(
@@ -321,17 +425,39 @@ class PdnSpot(TwoTierCacheMixin):
     ) -> List[PdnEvaluation]:
         """Evaluate ``(pdn_name, conditions, overrides)`` units, in order.
 
-        With the default ``executor=None`` (and ``jobs`` unset or 1) the units
-        are evaluated serially through :meth:`evaluate_cached` -- the seed
-        behaviour, bit-identical results and cache accounting.  Otherwise the
-        resolved :class:`~repro.analysis.executor.Executor` shards the units,
-        evaluates chunks concurrently, merges worker results back into this
-        engine's cache and returns the evaluations in canonical unit order.
+        **The** public batch entry point: every grid workload (studies,
+        figure drivers, the optimizer, the evaluation service) reduces to
+        this call.  With the default ``executor=None`` (and ``jobs`` unset
+        or 1) the units run on the calling thread -- through the vectorized
+        columnar core when this engine has it enabled, per point otherwise
+        -- with the seed's bit-identical results and cache accounting.
+        Otherwise the resolved :class:`~repro.analysis.executor.Executor`
+        shards the units into column blocks, evaluates chunks concurrently,
+        merges worker results back into this engine's cache and returns the
+        evaluations in canonical unit order.
         """
         backend = make_executor(executor, jobs=jobs)
         if backend is None:
+            if self._columnar:
+                if not self._cache_enabled:
+                    # No cache accounting to preserve: hand the whole batch
+                    # to the columnar core directly (it falls back to the
+                    # per-point oracle per block, or declines entirely when
+                    # this engine instance is patched).
+                    unit_list = list(units)
+                    evaluations = self.evaluate_columns(unit_list)
+                    if evaluations is not None:
+                        return evaluations
+                    return [
+                        self.evaluate_uncached(name, conditions, overrides)
+                        for name, conditions, overrides in unit_list
+                    ]
+                # The serial drive preserves per-unit cache accounting
+                # exactly while letting whole column blocks ride the
+                # vectorized path (one chunk, no pool, no pickling).
+                return SerialExecutor(jobs=1).evaluate_units(self, units)
             return [
-                self.evaluate_cached(name, conditions, overrides)
+                self._evaluate_cached(name, conditions, overrides)
                 for name, conditions, overrides in units
             ]
         return backend.evaluate_units(self, units)
@@ -342,11 +468,12 @@ class PdnSpot(TwoTierCacheMixin):
         executor: ExecutorLike = None,
         jobs: Optional[int] = None,
     ) -> List[PdnEvaluation]:
-        """Evaluate many ``(pdn_name, conditions)`` points through the cache.
+        """Thin alias of :meth:`evaluate_units` for override-free points.
 
-        Duplicate points -- which dominate figure-regeneration grids -- are
-        computed once and served from the cache afterwards.  ``executor`` /
-        ``jobs`` select a parallel backend exactly as in :meth:`run`.
+        Wraps each ``(pdn_name, conditions)`` pair as a unit with empty
+        overrides and delegates; duplicate points -- which dominate
+        figure-regeneration grids -- are computed once and served from the
+        cache afterwards.
         """
         return self.evaluate_units(
             ((name, conditions, ()) for name, conditions in points),
@@ -403,9 +530,19 @@ class PdnSpot(TwoTierCacheMixin):
     # ------------------------------------------------------------------ #
     # ETEE evaluation
     # ------------------------------------------------------------------ #
-    def evaluate(self, pdn_name: str, conditions: OperatingConditions) -> PdnEvaluation:
-        """Evaluate one PDN at an explicit operating point (cached)."""
-        return self.evaluate_cached(pdn_name, conditions)
+    def evaluate(
+        self,
+        pdn_name: str,
+        conditions: OperatingConditions,
+        overrides: OverrideKey = (),
+    ) -> PdnEvaluation:
+        """Evaluate one PDN at an explicit operating point (cached).
+
+        The public single-point entry; for many points use
+        :meth:`evaluate_units`, which can evaluate whole batches in one
+        vectorized pass.
+        """
+        return self._evaluate_cached(pdn_name, conditions, overrides)
 
     def compare_etee(
         self,
@@ -418,7 +555,7 @@ class PdnSpot(TwoTierCacheMixin):
             tdp_w, application_ratio, workload_type
         )
         return {
-            name: self.evaluate_cached(name, conditions).etee for name in self._pdns
+            name: self._evaluate_cached(name, conditions).etee for name in self._pdns
         }
 
     def compare_power_state_etee(
@@ -427,7 +564,7 @@ class PdnSpot(TwoTierCacheMixin):
         """ETEE of every instantiated PDN in one package power state."""
         conditions = OperatingConditions.for_power_state(tdp_w, power_state)
         return {
-            name: self.evaluate_cached(name, conditions).etee for name in self._pdns
+            name: self._evaluate_cached(name, conditions).etee for name in self._pdns
         }
 
     # ------------------------------------------------------------------ #

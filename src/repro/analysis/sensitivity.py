@@ -131,10 +131,8 @@ class SensitivityAnalysis:
         overrides = ((parameter, perturbed_value),)
         records: List[SensitivityRecord] = []
         for name in self._pdn_names:
-            baseline_etee = self._spot.evaluate_cached(name, conditions).etee
-            perturbed_etee = self._spot.evaluate_cached(
-                name, conditions, overrides
-            ).etee
+            baseline_etee = self._spot.evaluate(name, conditions).etee
+            perturbed_etee = self._spot.evaluate(name, conditions, overrides).etee
             records.append(
                 SensitivityRecord(
                     pdn_name=name,

@@ -1,29 +1,24 @@
-"""Legacy sweep helpers (deprecated shims over the Study engine).
+"""Legacy sweep helpers -- **removed**; use the Study engine.
 
 The original analysis layer exposed three ad-hoc sweep functions returning
-flat lists of dictionaries.  They are superseded by the declarative
+flat lists of dictionaries (``sweep_tdp``, ``sweep_application_ratio``,
+``sweep_power_states``).  They were deprecated in favour of the declarative
 :class:`repro.analysis.study.Study` /
-:class:`repro.analysis.resultset.ResultSet` API -- build a study, run it with
-:meth:`repro.analysis.pdnspot.PdnSpot.run` (cached) and call
+:class:`repro.analysis.resultset.ResultSet` API and have now been deleted --
+build a study, run it with :meth:`repro.analysis.pdnspot.PdnSpot.run`
+(cached, executor-aware, columnar-vectorized) and call
 :meth:`ResultSet.to_records` if you need the old record layout::
 
     spot = PdnSpot()
     records = spot.run(Study.over_tdps([4.0, 18.0, 50.0])).to_records()
 
-The helpers below remain as thin deprecated shims that delegate to the same
-engine and return byte-identical records, so existing callers keep working
-while emitting a :class:`DeprecationWarning`.
+The migration guide is the canonical reference for the old-to-new mapping;
+importing a removed helper raises with the replacement spelled out.
 """
 
 from __future__ import annotations
 
-import warnings
-from typing import Dict, Iterable, List, Sequence
-
-from repro.analysis.study import Study, evaluate_study
-from repro.pdn.base import PowerDeliveryNetwork
-from repro.power.domains import WorkloadType
-from repro.power.power_states import BATTERY_LIFE_STATES, PackageCState
+from typing import Dict, Iterable, List
 
 Record = Dict[str, object]
 
@@ -32,69 +27,32 @@ Record = Dict[str, object]
 #: page of the MkDocs site CI builds from ``docs/guides/migration.md``.
 MIGRATION_GUIDE = "docs/guides/migration.md (guides/migration/ on the docs site)"
 
-
-def _deprecated(name: str) -> None:
-    warnings.warn(
-        f"{name} is deprecated; build a Study and run it with PdnSpot.run "
-        f"(see repro.analysis.study and the migration guide: "
-        f"{MIGRATION_GUIDE})",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def sweep_tdp(
-    pdns: Iterable[PowerDeliveryNetwork],
-    tdps_w: Sequence[float],
-    application_ratio: float = 0.56,
-    workload_type: WorkloadType = WorkloadType.CPU_MULTI_THREAD,
-) -> List[Record]:
-    """ETEE of each PDN at each TDP (fixed AR and workload type).
-
-    .. deprecated::
-        Use ``PdnSpot.run(Study.over_tdps(...))`` instead.
-    """
-    _deprecated("sweep_tdp")
-    pdn_list = list(pdns)
-    study = Study.over_tdps(tdps_w, application_ratio, workload_type)
-    return evaluate_study(study, pdn_list).to_records()
+#: The removed helpers and their Study-engine replacements, used to build the
+#: ImportError message (and mirrored by the migration guide's table).
+_REMOVED = {
+    "sweep_tdp": "PdnSpot().run(Study.over_tdps(tdps_w, application_ratio, "
+    "workload_type)).to_records()",
+    "sweep_application_ratio": "PdnSpot().run(Study.over_application_ratios("
+    "application_ratios, tdp_w, workload_type)).to_records()",
+    "sweep_power_states": "PdnSpot().run(Study.over_power_states(tdp_w, "
+    "power_states)).to_records()",
+}
 
 
-def sweep_application_ratio(
-    pdns: Iterable[PowerDeliveryNetwork],
-    application_ratios: Sequence[float],
-    tdp_w: float,
-    workload_type: WorkloadType = WorkloadType.CPU_MULTI_THREAD,
-) -> List[Record]:
-    """ETEE of each PDN across application ratios (fixed TDP and type).
-
-    .. deprecated::
-        Use ``PdnSpot.run(Study.over_application_ratios(...))`` instead.
-    """
-    _deprecated("sweep_application_ratio")
-    pdn_list = list(pdns)
-    study = Study.over_application_ratios(application_ratios, tdp_w, workload_type)
-    return evaluate_study(study, pdn_list).to_records()
-
-
-def sweep_power_states(
-    pdns: Iterable[PowerDeliveryNetwork],
-    tdp_w: float,
-    power_states: Sequence[PackageCState] = BATTERY_LIFE_STATES,
-) -> List[Record]:
-    """ETEE of each PDN across the battery-life package power states.
-
-    .. deprecated::
-        Use ``PdnSpot.run(Study.over_power_states(...))`` instead.
-    """
-    _deprecated("sweep_power_states")
-    pdn_list = list(pdns)
-    study = Study.over_power_states(tdp_w, power_states)
-    return evaluate_study(study, pdn_list).to_records()
+def __getattr__(name: str):
+    if name in _REMOVED:
+        raise ImportError(
+            f"{name} was removed: the deprecated ad-hoc sweep helpers are "
+            f"superseded by the Study engine. Use "
+            f"{_REMOVED[name]} (records are identical), and see the "
+            f"migration guide: {MIGRATION_GUIDE}",
+            name=__name__,
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def records_for_pdn(records: Iterable[Record], pdn_name: str) -> List[Record]:
-    """Filter sweep records down to one PDN.
+    """Filter sweep-style records down to one PDN.
 
     Kept for convenience; the :class:`ResultSet` equivalent is
     ``resultset.filter(pdn=pdn_name)``.

@@ -14,6 +14,7 @@ battery-life power states C0_MIN and C2--C8.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Optional, Sequence
 
 from repro.core.hybrid_vr import PdnMode
@@ -60,24 +61,60 @@ def calibrate_mode_curves(
     tdp_grid_w / ar_grid / power_states:
         The characterisation grid.
     """
+    evaluations = _evaluate_in_mode_batch(
+        flexwatts, mode, _calibration_conditions(tuple(tdp_grid_w), tuple(ar_grid), tuple(power_states))
+    )
+    etee_iter = iter(evaluations)
     curves = EteeCurveSet()
     for workload_type in ACTIVE_WORKLOAD_TYPES:
         for tdp_w in tdp_grid_w:
-            etees = []
-            for ar in ar_grid:
-                conditions = OperatingConditions.for_active_workload(
-                    tdp_w=tdp_w, application_ratio=ar, workload_type=workload_type
-                )
-                etees.append(flexwatts.evaluate_in_mode(conditions, mode).etee)
+            etees = [next(etee_iter).etee for _ in ar_grid]
             curves.add_active_curve(workload_type, tdp_w, ar_grid, etees)
     for state in power_states:
-        conditions = OperatingConditions.for_power_state(
-            POWER_STATE_REFERENCE_TDP_W, state
-        )
-        curves.add_power_state_etee(
-            state, flexwatts.evaluate_in_mode(conditions, mode).etee
-        )
+        curves.add_power_state_etee(state, next(etee_iter).etee)
     return curves
+
+
+@lru_cache(maxsize=8)
+def _calibration_conditions(tdp_grid_w, ar_grid, power_states):
+    """The characterisation grid's operating points, built once per grid.
+
+    Operating points describe the workload, not the PDN: every hybrid
+    instance calibrated over the same grid -- both of its modes, and any
+    number of parameter-override variants -- shares one conditions list.
+    """
+    active = [
+        OperatingConditions.for_active_workload(
+            tdp_w=tdp_w, application_ratio=ar, workload_type=workload_type
+        )
+        for workload_type in ACTIVE_WORKLOAD_TYPES
+        for tdp_w in tdp_grid_w
+        for ar in ar_grid
+    ]
+    states = [
+        OperatingConditions.for_power_state(POWER_STATE_REFERENCE_TDP_W, state)
+        for state in power_states
+    ]
+    return active + states
+
+
+def _evaluate_in_mode_batch(flexwatts, mode: PdnMode, conditions):
+    """Forced-mode evaluations for a calibration grid, vectorized when possible.
+
+    The columnar path returns results bit-identical to ``evaluate_in_mode``
+    per point (it is gated by the equivalence suite), so the stored ETEE
+    curves are the same either way -- the batch just makes cold-start
+    calibration cheap.  Falls back per point when the instance is patched or
+    the batch is rejected.
+    """
+    # Imported lazily: repro.pdn.columnar lazily imports this package in the
+    # other direction, and neither import may run at module-import time.
+    from repro.pdn.columnar import evaluate_columns
+
+    results = evaluate_columns(flexwatts, conditions, mode=mode)
+    if results is not None and all(r is not None for r in results):
+        return results
+    return [flexwatts.evaluate_in_mode(c, mode) for c in conditions]
 
 
 def build_default_predictor(

@@ -91,7 +91,7 @@ def loss_breakdown(
             conditions = OperatingConditions.for_active_workload(
                 tdp_w, application_ratio, WorkloadType.CPU_MULTI_THREAD
             )
-            evaluation = spot.evaluate_cached(pdn_name, conditions)
+            evaluation = spot.evaluate(pdn_name, conditions)
             fractions = evaluation.breakdown.as_fractions_of(evaluation.supply_power_w)
             if pdn_name == "IVR":
                 ivr_current_by_tdp[tdp_w] = evaluation.chip_input_current_a

@@ -1,0 +1,974 @@
+"""Vectorized columnar evaluation of the PDN models.
+
+This module is the compute core of the redesigned ``EvaluationEngine`` batch
+API: instead of one Python call per operating point, a whole grid of
+:class:`~repro.pdn.base.OperatingConditions` is laid out as NumPy column
+arrays (:class:`ConditionsBatch`) and each PDN topology is evaluated with one
+vectorized pass per metric column.
+
+Bit-identity contract
+---------------------
+The scalar ``evaluate()`` methods remain the *reference oracle*: every result
+produced here must be bit-identical to what the per-point path returns for
+the same conditions (the seed-equivalence suite and ``repro.serve``'s
+bit-identical-response guarantee compare with ``==``).  Three rules make that
+possible:
+
+* NumPy's elementwise ``+ - * /``, ``np.maximum`` and ``np.minimum`` are the
+  same IEEE-754 operations CPython applies to scalar floats, so each kernel
+  mirrors the scalar model's exact operation order (including the order of
+  ``+=`` accumulations).
+* Transcendentals (``**``, ``exp``) are *not* bit-stable under SIMD, so they
+  go through the unique-value memos of :mod:`repro.util.vecmath`, which call
+  the scalar CPython operation once per distinct input.
+* Quantities that only depend on the TDP column (regulator Iccmax sizing,
+  per-phase loss coefficients) are computed by calling the *scalar* sizing
+  helpers once per unique TDP and scattering the results, so there is no
+  reimplementation to drift.
+
+Fallback contract
+-----------------
+Whenever a batch contains a condition the vector path cannot reproduce
+exactly -- an unsupported operating point (over-current, insufficient
+headroom), a VR power state the regulator does not define, a monkeypatched
+model instance, or loads not in canonical domain order --
+:func:`evaluate_columns` returns ``None`` and the caller re-runs the batch
+through the scalar oracle so the precise scalar exception (or result)
+surfaces.  Capability is advertised per instance by :func:`supports_columns`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.pdn.base import (
+    OperatingConditions,
+    PdnEvaluation,
+    peak_domain_powers_w,
+)
+from repro.pdn.common import ICCMAX_DESIGN_MARGIN, MIN_BOARD_VR_ICCMAX_A
+from repro.pdn.imbvr import IMbvrPdn
+from repro.pdn.ivr import IvrPdn
+from repro.pdn.ldo import LDO_UNCORE_RAILS, LdoPdn
+from repro.pdn.losses import LossBreakdown
+from repro.pdn.mbvr import MBVR_RAILS, MbvrPdn
+from repro.power.domains import COMPUTE_DOMAINS, DomainKind
+from repro.util.vecmath import HAVE_NUMPY, exact_exp, exact_pow2, per_unique
+from repro.vr.efficiency_curves import (
+    _board_phase_configs,
+    default_board_vr,
+    default_ivr,
+)
+from repro.vr.ldo import LowDropoutRegulator
+from repro.vr.switching import VRPowerState
+
+if HAVE_NUMPY:  # pragma: no branch - numpy is part of the baked toolchain
+    import numpy as np
+else:  # pragma: no cover
+    np = None
+
+__all__ = [
+    "ColumnarFallback",
+    "ConditionsBatch",
+    "evaluate_columns",
+    "supports_columns",
+]
+
+#: Canonical domain order: the order ``OperatingConditions`` factories emit
+#: loads in.  Batches require it so dict/accumulation order matches the
+#: scalar models exactly.
+_DOMAIN_ORDER: Tuple[DomainKind, ...] = tuple(DomainKind)
+
+# Design constants of the default regulators, captured from probe instances so
+# the kernels share the exact floats of the scalar models instead of
+# duplicating literals.
+_BOARD_DESIGN = default_board_vr("columnar_probe", MIN_BOARD_VR_ICCMAX_A).design
+_IVR_DESIGN = default_ivr("columnar_probe").design
+
+
+class ColumnarFallback(Exception):
+    """Internal signal: this batch must be re-run through the scalar oracle."""
+
+
+#: Memo of :func:`peak_domain_powers_w` keyed by TDP.  The function is pure
+#: and interpolates several curves per call, which dominated the sizing step;
+#: grids revisit the same few TDPs constantly.  Bounded to stay O(grid axes).
+_PEAK_POWERS_MEMO: Dict[float, Dict[DomainKind, float]] = {}
+
+
+def _peak_powers(tdp_w: float) -> Dict[DomainKind, float]:
+    peaks = _PEAK_POWERS_MEMO.get(tdp_w)
+    if peaks is None:
+        if len(_PEAK_POWERS_MEMO) >= 4096:
+            _PEAK_POWERS_MEMO.clear()
+        peaks = _PEAK_POWERS_MEMO[tdp_w] = peak_domain_powers_w(tdp_w)
+    return peaks
+
+
+# --------------------------------------------------------------------------- #
+# Column layout
+# --------------------------------------------------------------------------- #
+class ConditionsBatch:
+    """A grid of operating conditions laid out as per-column NumPy arrays.
+
+    Scalar per-condition attributes become float64 arrays; per-domain load
+    attributes become one array per :class:`DomainKind`.  ``from_conditions``
+    returns ``None`` when the batch cannot be represented (loads not in
+    canonical domain order), which callers treat as "use the scalar path".
+    """
+
+    __slots__ = (
+        "conditions",
+        "n",
+        "tdp_w",
+        "application_ratio",
+        "board_states",
+        "state_codes",
+        "nominal",
+        "voltage",
+        "leakage",
+        "active",
+        "gated_rail",
+        "effective",
+        "nominal_total",
+    )
+
+    @classmethod
+    def from_conditions(
+        cls, conditions: Sequence[OperatingConditions]
+    ) -> Optional["ConditionsBatch"]:
+        conditions = list(conditions)
+        n_domains = len(_DOMAIN_ORDER)
+        tdp: List[float] = []
+        ar: List[float] = []
+        states: List[VRPowerState] = []
+        codes: List[float] = []
+        # Per-domain columns as positional (lists, expected kind) slots so the
+        # hot loop appends to local lists without dict/enum lookups.
+        slots = [
+            ([], [], [], [], [], kind) for kind in _DOMAIN_ORDER
+        ]
+        for c in conditions:
+            loads = c.loads
+            if len(loads) != n_domains:
+                return None
+            state = c.board_vr_state
+            tdp.append(c.tdp_w)
+            ar.append(c.application_ratio)
+            states.append(state)
+            codes.append(float(state.value))
+            for load, (nom, volt, leak, act, gate, kind) in zip(loads, slots):
+                if load.kind is not kind:
+                    return None
+                nom.append(load.nominal_power_w)
+                volt.append(load.voltage_v)
+                leak.append(load.leakage_fraction)
+                act.append(load.active)
+                gate.append(load.power_gated_rail)
+        batch = cls.__new__(cls)
+        batch.conditions = conditions
+        batch.n = len(conditions)
+        batch.tdp_w = np.array(tdp, dtype=np.float64)
+        batch.application_ratio = np.array(ar, dtype=np.float64)
+        batch.board_states = states
+        batch.state_codes = np.array(codes, dtype=np.float64)
+        batch.nominal = {
+            kind: np.array(nom, dtype=np.float64)
+            for nom, _, _, _, _, kind in slots
+        }
+        batch.voltage = {
+            kind: np.array(volt, dtype=np.float64)
+            for _, volt, _, _, _, kind in slots
+        }
+        batch.leakage = {
+            kind: np.array(leak, dtype=np.float64)
+            for _, _, leak, _, _, kind in slots
+        }
+        batch.active = {
+            kind: np.array(act, dtype=bool) for _, _, _, act, _, kind in slots
+        }
+        batch.gated_rail = {
+            kind: np.array(gate, dtype=bool) for _, _, _, _, gate, kind in slots
+        }
+        batch.effective = {
+            k: np.where(batch.active[k], batch.nominal[k], 0.0) for k in _DOMAIN_ORDER
+        }
+        # Sequential sum in load order, mirroring the nominal_power_w property.
+        total = None
+        for kind in _DOMAIN_ORDER:
+            total = (
+                batch.effective[kind]
+                if total is None
+                else total + batch.effective[kind]
+            )
+        batch.nominal_total = total
+        return batch
+
+    def take(self, indices: Sequence[int]) -> "ConditionsBatch":
+        """A sub-batch holding the lanes in ``indices`` (in that order)."""
+        idx = np.asarray(indices, dtype=np.intp)
+        sub = ConditionsBatch.__new__(ConditionsBatch)
+        sub.conditions = [self.conditions[i] for i in indices]
+        sub.n = len(sub.conditions)
+        sub.tdp_w = self.tdp_w[idx]
+        sub.application_ratio = self.application_ratio[idx]
+        sub.board_states = [self.board_states[i] for i in indices]
+        sub.state_codes = self.state_codes[idx]
+        sub.nominal = {k: v[idx] for k, v in self.nominal.items()}
+        sub.voltage = {k: v[idx] for k, v in self.voltage.items()}
+        sub.leakage = {k: v[idx] for k, v in self.leakage.items()}
+        sub.active = {k: v[idx] for k, v in self.active.items()}
+        sub.gated_rail = {k: v[idx] for k, v in self.gated_rail.items()}
+        sub.effective = {k: v[idx] for k, v in self.effective.items()}
+        sub.nominal_total = self.nominal_total[idx]
+        return sub
+
+    def per_unique_tdp(self, fn) -> "np.ndarray":
+        """Apply scalar ``fn`` once per unique TDP and scatter back."""
+        return per_unique(self.tdp_w, fn)
+
+
+class _LossColumns:
+    """Columnar mirror of :class:`LossBreakdown` during kernel evaluation."""
+
+    __slots__ = (
+        "on_chip_vr_w",
+        "off_chip_vr_w",
+        "conduction_compute_w",
+        "conduction_uncore_w",
+        "other_w",
+        "details",
+    )
+
+    def __init__(self, n: int):
+        zeros = np.zeros(n, dtype=np.float64)
+        self.on_chip_vr_w = zeros
+        self.off_chip_vr_w = zeros
+        self.conduction_compute_w = zeros
+        self.conduction_uncore_w = zeros
+        self.other_w = zeros
+        # Ordered (rail name, values array, lane mask or None) entries.
+        self.details: List[Tuple[str, "np.ndarray", Optional["np.ndarray"]]] = []
+
+
+class _RailColumns:
+    """Columnar mirror of :class:`~repro.pdn.common.RailEvaluation`."""
+
+    __slots__ = (
+        "supply",
+        "voltage",
+        "current",
+        "conduction",
+        "off_chip",
+        "idle_quiescent",
+    )
+
+    def __init__(self, supply, voltage, current, conduction, off_chip, idle_quiescent):
+        self.supply = supply
+        self.voltage = voltage
+        self.current = current
+        self.conduction = conduction
+        self.off_chip = off_chip
+        self.idle_quiescent = idle_quiescent
+
+
+class _SwitchingCoeffs:
+    """Per-lane loss coefficients of a board switching regulator."""
+
+    __slots__ = ("quiescent_w", "switching", "conduction", "drive", "iccmax")
+
+    def __init__(self, quiescent_w, switching, conduction, drive, iccmax):
+        self.quiescent_w = quiescent_w
+        self.switching = switching
+        self.conduction = conduction
+        self.drive = drive
+        self.iccmax = iccmax
+
+
+# --------------------------------------------------------------------------- #
+# Vectorized building blocks (each mirrors one scalar helper exactly)
+# --------------------------------------------------------------------------- #
+def _scale_power_vec(power, voltage, guardband, leakage_fraction, exponent):
+    """Vector mirror of :func:`repro.power.leakage.scale_power_with_voltage`."""
+    ratio = (voltage + guardband) / voltage
+    ratio_leak, ratio_dyn = exact_pow2(ratio, exponent, 2)
+    leakage_term = leakage_fraction * ratio_leak
+    dynamic_term = (1.0 - leakage_fraction) * ratio_dyn
+    return power * (leakage_term + dynamic_term)
+
+
+def _apply_guardbands_vec(batch, tolerance_band_v, gated_kinds, params):
+    """Vector mirror of :func:`repro.pdn.common.apply_guardbands`.
+
+    Returns ``{kind: gated_power_w array}``.
+    """
+    out: Dict[DomainKind, "np.ndarray"] = {}
+    for kind in _DOMAIN_ORDER:
+        nominal = batch.nominal[kind]
+        voltage = batch.voltage[kind]
+        leakage = batch.leakage[kind]
+        m = batch.active[kind] & (nominal != 0.0)
+        pgb = np.where(
+            m,
+            _scale_power_vec(
+                nominal, voltage, tolerance_band_v, leakage, params.leakage_exponent
+            ),
+            0.0,
+        )
+        ppg = pgb
+        if kind in gated_kinds:
+            impedance = params.power_gate_impedance_ohm.get(kind, 0.0)
+            if impedance != 0.0:
+                gated_voltage = voltage + tolerance_band_v
+                current = pgb / gated_voltage
+                drop = impedance * current
+                rescaled = _scale_power_vec(
+                    pgb, gated_voltage, drop, leakage, params.leakage_exponent
+                )
+                ppg = np.where(
+                    (pgb != 0.0) & batch.gated_rail[kind], rescaled, pgb
+                )
+        out[kind] = ppg
+    return out
+
+
+def _guardband_loss_sum(batch, gated, kinds):
+    """Sequential sum of per-domain guardband losses, in ``kinds`` order."""
+    total = None
+    for kind in kinds:
+        loss = gated[kind] - batch.effective[kind]
+        total = loss if total is None else total + loss
+    return total
+
+
+def _group_power(gated, kinds):
+    """Vector mirror of :func:`repro.pdn.common.group_power_w`."""
+    total = None
+    for kind in kinds:
+        total = gated[kind] if total is None else total + gated[kind]
+    return total
+
+
+def _group_voltage(batch, kinds):
+    """Vector mirror of :func:`repro.pdn.common.group_voltage_v`."""
+    best = np.full(batch.n, -np.inf)
+    has_active = np.zeros(batch.n, dtype=bool)
+    for kind in kinds:
+        eligible = batch.active[kind] & (batch.nominal[kind] > 0.0)
+        best = np.where(eligible, np.maximum(best, batch.voltage[kind]), best)
+        has_active |= eligible
+    return np.where(has_active, best, batch.voltage[kinds[0]])
+
+
+def _loadline_vec(impedance_ohm, rail_voltage, rail_power, application_ratio):
+    """Vector mirror of :meth:`repro.vr.load_line.LoadLine.apply`.
+
+    The zero-power branch needs no mask: with ``P == 0`` the formulas below
+    collapse to exactly (nominal voltage, 0, 0, 0).
+    """
+    peak_power = rail_power / application_ratio
+    peak_current = peak_power / rail_voltage
+    guardbanded_voltage = rail_voltage + impedance_ohm * peak_current
+    rail_current = rail_power / rail_voltage
+    guardbanded_power = guardbanded_voltage * rail_current
+    conduction = guardbanded_power - rail_power
+    return guardbanded_voltage, guardbanded_power, rail_current, conduction
+
+
+def _switching_coefficients(batch, iccmax):
+    """Per-lane phase-configuration coefficients of a board regulator.
+
+    Computed by calling the scalar :func:`_board_phase_configs` once per
+    unique ``(iccmax, power state)`` pair.  Raises :class:`ColumnarFallback`
+    when any lane's power state is undefined for the regulator (the scalar
+    path raises ``ConfigurationError`` there).
+    """
+    key = iccmax + 1j * batch.state_codes
+    uniq, inverse = np.unique(key, return_inverse=True)
+    rows = []
+    for pair in uniq.tolist():
+        state = VRPowerState(int(pair.imag))
+        config = _board_phase_configs(pair.real).get(state)
+        if config is None:
+            raise ColumnarFallback(
+                f"power state {state.name} undefined for board regulators"
+            )
+        rows.append(
+            (
+                config.quiescent_w,
+                config.switching_w_per_v_a,
+                config.conduction_ohm,
+                config.drive_w_per_a,
+            )
+        )
+    table = np.array(rows, dtype=np.float64)[inverse]
+    return _SwitchingCoeffs(
+        table[:, 0], table[:, 1], table[:, 2], table[:, 3], iccmax
+    )
+
+
+def _switching_supply(coeffs, input_voltage_v, output_voltage, current, check):
+    """Vector mirror of ``SwitchingRegulator.input_power_w`` (active lanes).
+
+    ``check`` masks the lanes the scalar path would actually evaluate; an
+    operating-point violation on any of them triggers the fallback so the
+    scalar exception can surface.  Lanes outside ``check`` produce NaN and
+    must be replaced by the caller.
+    """
+    violation = check & (
+        (current > coeffs.iccmax)
+        | ((input_voltage_v - output_voltage) < _BOARD_DESIGN.min_headroom_v)
+    )
+    if violation.any():
+        raise ColumnarFallback("unsupported board-regulator operating point")
+    output_power = output_voltage * current
+    conversion_drop = np.maximum(0.0, input_voltage_v - output_voltage)
+    loss = (
+        coeffs.quiescent_w
+        + coeffs.switching * input_voltage_v * current
+        + coeffs.conduction * current * current
+        + coeffs.drive * current
+        + _BOARD_DESIGN.regulation_penalty * conversion_drop * output_power
+    )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        efficiency = output_power / (output_power + loss)
+        efficiency = np.minimum(efficiency, _BOARD_DESIGN.max_efficiency)
+        return output_power / efficiency
+
+
+def _board_rail_vec(batch, rail_power, rail_voltage, impedance_ohm, sizing_current, params):
+    """Vector mirror of :func:`repro.pdn.common.evaluate_board_rail`."""
+    iccmax = np.maximum(MIN_BOARD_VR_ICCMAX_A, sizing_current * ICCMAX_DESIGN_MARGIN)
+    coeffs = _switching_coefficients(batch, iccmax)
+    m = rail_power > 0.0
+    ll_voltage, ll_power, ll_current, ll_conduction = _loadline_vec(
+        impedance_ohm, rail_voltage, rail_power, batch.application_ratio
+    )
+    supply_active = _switching_supply(
+        coeffs, params.supply_voltage_v, ll_voltage, ll_current, check=m
+    )
+    idle = coeffs.quiescent_w
+    return _RailColumns(
+        supply=np.where(m, supply_active, idle),
+        voltage=ll_voltage,
+        current=ll_current,
+        conduction=ll_conduction,
+        off_chip=np.where(m, supply_active - ll_power, 0.0),
+        idle_quiescent=np.where(m, 0.0, idle),
+    )
+
+
+def _ivr_domain_input(batch, kind, gated_power, input_voltage_v):
+    """Vector mirror of one per-domain IVR conversion (active-lane mask, P_in)."""
+    voltage = batch.voltage[kind]
+    m = gated_power > 0.0
+    current = gated_power / voltage
+    iccmax = np.maximum(5.0, 2.0 * gated_power / voltage)
+    violation = m & ((current > iccmax) | (voltage >= input_voltage_v))
+    if violation.any():
+        raise ColumnarFallback("unsupported IVR operating point")
+    output_power = voltage * current
+    light_load = _IVR_DESIGN.light_load_penalty * exact_exp(
+        (-current) / _IVR_DESIGN.light_load_current_a
+    )
+    conversion = _IVR_DESIGN.conversion_penalty_per_v * np.maximum(
+        0.0, _IVR_DESIGN.reference_output_v - voltage
+    )
+    efficiency = _IVR_DESIGN.peak_efficiency - light_load - conversion
+    efficiency = np.maximum(0.5, np.minimum(efficiency, _IVR_DESIGN.peak_efficiency))
+    return m, output_power / efficiency
+
+
+# --------------------------------------------------------------------------- #
+# Per-topology kernels
+# --------------------------------------------------------------------------- #
+def _evaluate_ivr(pdn: IvrPdn, batch: ConditionsBatch):
+    params = pdn.parameters
+    gated = _apply_guardbands_vec(
+        batch, params.ivr_tolerance_band_v, frozenset(), params
+    )
+    loss = _LossColumns(batch.n)
+    loss.other_w = _guardband_loss_sum(batch, gated, _DOMAIN_ORDER)
+
+    input_voltage_v = params.ivr_input_voltage_v
+    input_rail = np.zeros(batch.n)
+    compute_share = np.zeros(batch.n)
+    for kind in _DOMAIN_ORDER:
+        m, domain_input = _ivr_domain_input(batch, kind, gated[kind], input_voltage_v)
+        loss.on_chip_vr_w = np.where(
+            m, loss.on_chip_vr_w + (domain_input - gated[kind]), loss.on_chip_vr_w
+        )
+        loss.details.append((f"IVR_{kind.value}", domain_input, m))
+        input_rail = np.where(m, input_rail + domain_input, input_rail)
+        if kind in COMPUTE_DOMAINS:
+            compute_share = np.where(m, compute_share + domain_input, compute_share)
+
+    ll_voltage, ll_power, ll_current, ll_conduction = _loadline_vec(
+        pdn._input_load_line.impedance_ohm,
+        input_voltage_v,
+        input_rail,
+        batch.application_ratio,
+    )
+    m_in = input_rail > 0.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        compute_fraction = np.where(m_in, compute_share / input_rail, 0.0)
+    loss.conduction_compute_w = (
+        loss.conduction_compute_w + ll_conduction * compute_fraction
+    )
+    loss.conduction_uncore_w = (
+        loss.conduction_uncore_w + ll_conduction * (1.0 - compute_fraction)
+    )
+
+    input_iccmax = batch.per_unique_tdp(pdn._input_vr_iccmax_a)
+    coeffs = _switching_coefficients(batch, input_iccmax)
+    supply_active = _switching_supply(
+        coeffs, params.supply_voltage_v, ll_voltage, ll_current, check=m_in
+    )
+    supply = np.where(m_in, supply_active, coeffs.quiescent_w)
+    loss.off_chip_vr_w = np.where(
+        m_in, loss.off_chip_vr_w + (supply_active - ll_power), loss.off_chip_vr_w
+    )
+    loss.other_w = np.where(m_in, loss.other_w, loss.other_w + coeffs.quiescent_w)
+    return supply, ll_current, loss, [("V_IN", ll_voltage, None)]
+
+
+def _evaluate_mbvr(pdn: MbvrPdn, batch: ConditionsBatch):
+    params = pdn.parameters
+    gated = _apply_guardbands_vec(
+        batch, params.mbvr_tolerance_band_v, frozenset(DomainKind), params
+    )
+    loss = _LossColumns(batch.n)
+    loss.other_w = _guardband_loss_sum(batch, gated, _DOMAIN_ORDER)
+
+    supply = np.zeros(batch.n)
+    current = np.zeros(batch.n)
+    rail_voltages = []
+    for rail_name, (rail_domains, is_compute) in MBVR_RAILS.items():
+        rail_power = _group_power(gated, rail_domains)
+        rail_voltage = _group_voltage(batch, rail_domains)
+        sizing = batch.per_unique_tdp(
+            lambda t, domains=rail_domains: pdn._rail_sizing_current_a(
+                domains, _peak_powers(t), t
+            )
+        )
+        rail = _board_rail_vec(
+            batch,
+            rail_power,
+            rail_voltage,
+            params.mbvr_loadline_ohm[rail_domains[0]],
+            sizing,
+            params,
+        )
+        supply = supply + rail.supply
+        current = current + rail.current
+        rail_voltages.append((rail_name, rail.voltage, None))
+        loss.off_chip_vr_w = loss.off_chip_vr_w + rail.off_chip
+        loss.other_w = loss.other_w + rail.idle_quiescent
+        if is_compute:
+            loss.conduction_compute_w = loss.conduction_compute_w + rail.conduction
+        else:
+            loss.conduction_uncore_w = loss.conduction_uncore_w + rail.conduction
+        loss.details.append((rail_name, rail.supply, None))
+    return supply, current, loss, rail_voltages
+
+
+def _ldo_compute_side(pdn: LdoPdn, batch: ConditionsBatch, loss, impedance_ohm):
+    """Vector mirror of :meth:`LdoPdn.evaluate_compute_side`."""
+    params = pdn.parameters
+    gated = _apply_guardbands_vec(
+        batch, params.ldo_tolerance_band_v, frozenset(), params
+    )
+    masks = {kind: gated[kind] > 0.0 for kind in COMPUTE_DOMAINS}
+    loss.other_w = loss.other_w + _guardband_loss_sum(batch, gated, COMPUTE_DOMAINS)
+    m_any = np.zeros(batch.n, dtype=bool)
+    for kind in COMPUTE_DOMAINS:
+        m_any |= masks[kind]
+    zeros = np.zeros(batch.n)
+    if not m_any.any():
+        return zeros, zeros, zeros
+
+    input_voltage = np.full(batch.n, -np.inf)
+    for kind in COMPUTE_DOMAINS:
+        input_voltage = np.where(
+            masks[kind], np.maximum(input_voltage, batch.voltage[kind]), input_voltage
+        )
+    # Placeholder on fully-gated lanes; every use below is masked by m_any.
+    input_voltage = np.where(m_any, input_voltage, 1.0)
+
+    probe = LowDropoutRegulator(
+        name="columnar_probe", current_efficiency=params.ldo_current_efficiency
+    )
+    current_efficiency = probe.current_efficiency
+    dropout_v = probe._dropout_voltage_v
+    bypass_ohm = probe.bypass_resistance_ohm
+
+    input_rail = zeros
+    for kind in COMPUTE_DOMAINS:
+        m = masks[kind]
+        voltage = batch.voltage[kind]
+        current = gated[kind] / voltage
+        drop = bypass_ohm * current
+        effective_v = np.maximum(input_voltage - drop, 1e-9)
+        bypass = (input_voltage - voltage) <= dropout_v
+        efficiency = np.where(
+            bypass,
+            effective_v / input_voltage * current_efficiency,
+            voltage / input_voltage * current_efficiency,
+        )
+        domain_input = voltage * current / efficiency
+        loss.on_chip_vr_w = np.where(
+            m, loss.on_chip_vr_w + (domain_input - gated[kind]), loss.on_chip_vr_w
+        )
+        loss.details.append((f"LDO_{kind.value}", domain_input, m))
+        input_rail = np.where(m, input_rail + domain_input, input_rail)
+
+    ll_voltage, ll_power, ll_current, ll_conduction = _loadline_vec(
+        impedance_ohm, input_voltage, input_rail, batch.application_ratio
+    )
+    loss.conduction_compute_w = np.where(
+        m_any, loss.conduction_compute_w + ll_conduction, loss.conduction_compute_w
+    )
+    input_iccmax = batch.per_unique_tdp(pdn._input_vr_iccmax_a)
+    coeffs = _switching_coefficients(batch, input_iccmax)
+    supply_active = _switching_supply(
+        coeffs, params.supply_voltage_v, ll_voltage, ll_current, check=m_any
+    )
+    loss.off_chip_vr_w = np.where(
+        m_any, loss.off_chip_vr_w + (supply_active - ll_power), loss.off_chip_vr_w
+    )
+    return (
+        np.where(m_any, supply_active, 0.0),
+        np.where(m_any, ll_current, 0.0),
+        np.where(m_any, ll_voltage, 0.0),
+    )
+
+
+def _imbvr_compute_side(pdn: IMbvrPdn, batch: ConditionsBatch, loss, impedance_ohm):
+    """Vector mirror of :meth:`IMbvrPdn.evaluate_compute_side`."""
+    params = pdn.parameters
+    gated = _apply_guardbands_vec(
+        batch, params.ivr_tolerance_band_v, frozenset(), params
+    )
+    masks = {kind: gated[kind] > 0.0 for kind in COMPUTE_DOMAINS}
+    loss.other_w = loss.other_w + _guardband_loss_sum(batch, gated, COMPUTE_DOMAINS)
+    m_any = np.zeros(batch.n, dtype=bool)
+    for kind in COMPUTE_DOMAINS:
+        m_any |= masks[kind]
+
+    input_iccmax = batch.per_unique_tdp(pdn._input_vr_iccmax_a)
+    coeffs = _switching_coefficients(batch, input_iccmax)
+    # Fully-gated lanes: V_IN stays alive, drawing only quiescent power.
+    loss.other_w = np.where(m_any, loss.other_w, loss.other_w + coeffs.quiescent_w)
+
+    input_voltage_v = params.ivr_input_voltage_v
+    input_rail = np.zeros(batch.n)
+    for kind in COMPUTE_DOMAINS:
+        m, domain_input = _ivr_domain_input(batch, kind, gated[kind], input_voltage_v)
+        loss.on_chip_vr_w = np.where(
+            m, loss.on_chip_vr_w + (domain_input - gated[kind]), loss.on_chip_vr_w
+        )
+        loss.details.append((f"IVR_{kind.value}", domain_input, m))
+        input_rail = np.where(m, input_rail + domain_input, input_rail)
+
+    ll_voltage, ll_power, ll_current, ll_conduction = _loadline_vec(
+        impedance_ohm, input_voltage_v, input_rail, batch.application_ratio
+    )
+    loss.conduction_compute_w = np.where(
+        m_any, loss.conduction_compute_w + ll_conduction, loss.conduction_compute_w
+    )
+    supply_active = _switching_supply(
+        coeffs, params.supply_voltage_v, ll_voltage, ll_current, check=m_any
+    )
+    loss.off_chip_vr_w = np.where(
+        m_any, loss.off_chip_vr_w + (supply_active - ll_power), loss.off_chip_vr_w
+    )
+    return (
+        np.where(m_any, supply_active, coeffs.quiescent_w),
+        np.where(m_any, ll_current, 0.0),
+        np.where(m_any, ll_voltage, 0.0),
+    )
+
+
+def _uncore_rails_vec(ldo_pdn: LdoPdn, batch: ConditionsBatch, loss):
+    """Vector mirror of :meth:`LdoPdn.evaluate_uncore_rails`."""
+    params = ldo_pdn.parameters
+    gated = _apply_guardbands_vec(
+        batch,
+        params.ldo_tolerance_band_v,
+        frozenset(kind for kind, _ in LDO_UNCORE_RAILS),
+        params,
+    )
+    loss.other_w = loss.other_w + _guardband_loss_sum(
+        batch, gated, tuple(kind for kind, _ in LDO_UNCORE_RAILS)
+    )
+    supply = np.zeros(batch.n)
+    current = np.zeros(batch.n)
+    rail_voltages = []
+    for kind, rail_name in LDO_UNCORE_RAILS:
+        rail_power = gated[kind]
+        rail_voltage = _group_voltage(batch, (kind,))
+        peak = batch.per_unique_tdp(lambda t, k=kind: _peak_powers(t)[k])
+        rail = _board_rail_vec(
+            batch,
+            rail_power,
+            rail_voltage,
+            params.uncore_loadline_ohm[kind],
+            peak / rail_voltage,
+            params,
+        )
+        supply = supply + rail.supply
+        current = current + rail.current
+        rail_voltages.append((rail_name, rail.voltage, None))
+        loss.off_chip_vr_w = loss.off_chip_vr_w + rail.off_chip
+        loss.conduction_uncore_w = loss.conduction_uncore_w + rail.conduction
+        loss.other_w = loss.other_w + rail.idle_quiescent
+        loss.details.append((rail_name, rail.supply, None))
+    return supply, current, rail_voltages
+
+
+def _evaluate_ldo(pdn: LdoPdn, batch: ConditionsBatch):
+    loss = _LossColumns(batch.n)
+    compute_supply, compute_current, input_rail_v = _ldo_compute_side(
+        pdn, batch, loss, pdn._input_load_line.impedance_ohm
+    )
+    uncore_supply, uncore_current, rail_voltages = _uncore_rails_vec(pdn, batch, loss)
+    rail_voltages.append(("V_IN", input_rail_v, input_rail_v > 0.0))
+    return (
+        compute_supply + uncore_supply,
+        compute_current + uncore_current,
+        loss,
+        rail_voltages,
+    )
+
+
+def _evaluate_imbvr(pdn: IMbvrPdn, batch: ConditionsBatch):
+    loss = _LossColumns(batch.n)
+    compute_supply, compute_current, input_rail_v = _imbvr_compute_side(
+        pdn, batch, loss, pdn._input_load_line.impedance_ohm
+    )
+    uncore_supply, uncore_current, rail_voltages = _uncore_rails_vec(
+        pdn._uncore_model, batch, loss
+    )
+    rail_voltages.append(("V_IN", input_rail_v, input_rail_v > 0.0))
+    return (
+        compute_supply + uncore_supply,
+        compute_current + uncore_current,
+        loss,
+        rail_voltages,
+    )
+
+
+_COLUMN_KERNELS = {
+    IvrPdn: _evaluate_ivr,
+    MbvrPdn: _evaluate_mbvr,
+    LdoPdn: _evaluate_ldo,
+    IMbvrPdn: _evaluate_imbvr,
+}
+
+#: Reference implementations: if a class-level ``evaluate`` differs from what
+#: was captured here, the instance has been patched and loses capability.
+_REFERENCE = {cls: cls.evaluate for cls in _COLUMN_KERNELS}
+
+#: Instance attributes whose presence marks a monkeypatched model (tests and
+#: what-if studies patch these per instance); such instances must go through
+#: the scalar path so the patch is honoured.
+_PATCHABLE = (
+    "evaluate",
+    "evaluate_in_mode",
+    "predict_mode",
+    "evaluate_compute_side",
+    "evaluate_uncore_rails",
+)
+
+_FLEX_CLS = None
+_FLEX_REFERENCE = None
+
+
+def _flexwatts_class():
+    global _FLEX_CLS, _FLEX_REFERENCE
+    if _FLEX_CLS is None:
+        # Imported lazily: repro.core pulls in the predictor/calibration
+        # stack, which would cycle back into repro.analysis at import time.
+        from repro.core.flexwatts import FlexWattsPdn
+
+        _FLEX_CLS = FlexWattsPdn
+        _FLEX_REFERENCE = FlexWattsPdn.evaluate
+    return _FLEX_CLS
+
+
+# --------------------------------------------------------------------------- #
+# Materialization and dispatch
+# --------------------------------------------------------------------------- #
+def _column_dicts(entries, n):
+    """Expand ``(name, values, mask)`` columns into one dict per lane.
+
+    Masks that are all-true collapse to the unmasked fast path, where the
+    per-lane dicts are built with ``dict(zip(...))`` over transposed rows.
+    """
+    names = []
+    unmasked = []
+    masked = []
+    for name, values, mask in entries:
+        if mask is not None and bool(mask.all()):
+            mask = None
+        if mask is None:
+            names.append(name)
+            unmasked.append(values.tolist())
+        else:
+            masked.append((name, values.tolist(), mask.tolist()))
+    if not masked:
+        if not names:
+            return [{} for _ in range(n)]
+        return [dict(zip(names, row)) for row in zip(*unmasked)]
+    rows = (
+        [dict(zip(names, row)) for row in zip(*unmasked)]
+        if names
+        else [{} for _ in range(n)]
+    )
+    for name, values, mask in masked:
+        for i, keep in enumerate(mask):
+            if keep:
+                rows[i][name] = values[i]
+    return rows
+
+
+def _materialize(batch, pdn_name, supply, current, loss, rail_voltages):
+    """Expand column results into per-lane :class:`PdnEvaluation` objects."""
+    n = batch.n
+    detail_rows = _column_dicts(loss.details, n)
+    rail_rows = _column_dicts(rail_voltages, n)
+    # Construct via __new__ + __dict__ to skip the frozen-dataclass __init__
+    # (object.__setattr__ per field); both classes are plain-__dict__ types
+    # with no __post_init__, so this is equivalent and much faster per lane.
+    new = object.__new__
+    breakdown_cls = LossBreakdown
+    evaluation_cls = PdnEvaluation
+    out = []
+    append = out.append
+    for nominal, supply_w, current_a, on, off, cc, cu, other, rail_details, voltages in zip(
+        batch.nominal_total.tolist(),
+        supply.tolist(),
+        current.tolist(),
+        loss.on_chip_vr_w.tolist(),
+        loss.off_chip_vr_w.tolist(),
+        loss.conduction_compute_w.tolist(),
+        loss.conduction_uncore_w.tolist(),
+        loss.other_w.tolist(),
+        detail_rows,
+        rail_rows,
+    ):
+        breakdown = new(breakdown_cls)
+        breakdown.__dict__ = {
+            "on_chip_vr_w": on,
+            "off_chip_vr_w": off,
+            "conduction_compute_w": cc,
+            "conduction_uncore_w": cu,
+            "other_w": other,
+            "rail_details": rail_details,
+        }
+        evaluation = new(evaluation_cls)
+        # Frozen dataclass: plain ``__dict__ = ...`` routes through the
+        # overridden __setattr__ and raises; updating the dict in place does
+        # not.
+        evaluation.__dict__.update(
+            pdn_name=pdn_name,
+            nominal_power_w=nominal,
+            supply_power_w=supply_w,
+            breakdown=breakdown,
+            chip_input_current_a=current_a,
+            rail_voltages_v=voltages,
+        )
+        append(evaluation)
+    return out
+
+
+def _evaluate_flexwatts(pdn, batch: ConditionsBatch, mode=None):
+    """Columnar FlexWatts evaluation: predict per lane, batch per mode."""
+    from repro.core.hybrid_vr import PdnMode
+
+    if mode is None:
+        modes = [pdn.predict_mode(c) for c in batch.conditions]
+        final_name = pdn.name
+    else:
+        modes = [mode] * batch.n
+        final_name = f"{pdn.name}[{mode.value}]"
+
+    ivr_lanes = [i for i, m in enumerate(modes) if m is PdnMode.IVR_MODE]
+    ldo_lanes = [i for i, m in enumerate(modes) if m is not PdnMode.IVR_MODE]
+    results: List[Optional[PdnEvaluation]] = [None] * batch.n
+    for lanes, side in ((ivr_lanes, pdn._ivr_mode_model), (ldo_lanes, pdn._ldo_mode_model)):
+        if not lanes:
+            continue
+        if not supports_columns(side):
+            raise ColumnarFallback("FlexWatts side model is patched")
+        sub = batch.take(lanes)
+        supply, current, loss, rails = _COLUMN_KERNELS[type(side)](side, sub)
+        for lane, result in zip(lanes, _materialize(sub, final_name, supply, current, loss, rails)):
+            results[lane] = result
+    return results
+
+
+def supports_columns(pdn) -> bool:
+    """Whether ``pdn`` can be evaluated through the columnar path.
+
+    Capability requires NumPy, an exactly-known model class, and an
+    unpatched instance (per-instance or class-level replacement of the
+    evaluation methods routes the instance back to the scalar path so the
+    patch is honoured -- the oracle always wins over the fast path).
+    """
+    if not HAVE_NUMPY:
+        return False
+    cls = type(pdn)
+    if cls in _COLUMN_KERNELS:
+        if cls.evaluate is not _REFERENCE[cls]:
+            return False
+        if any(name in pdn.__dict__ for name in _PATCHABLE):
+            return False
+        if cls is IMbvrPdn:
+            return supports_columns(pdn._uncore_model)
+        return True
+    if cls is _flexwatts_class():
+        if cls.evaluate is not _FLEX_REFERENCE:
+            return False
+        if any(name in pdn.__dict__ for name in _PATCHABLE):
+            return False
+        return supports_columns(pdn._ivr_mode_model) and supports_columns(
+            pdn._ldo_mode_model
+        )
+    return False
+
+
+def evaluate_columns(
+    pdn,
+    conditions: Sequence[OperatingConditions],
+    mode=None,
+    batch: Optional[ConditionsBatch] = None,
+) -> Optional[List[PdnEvaluation]]:
+    """Evaluate ``pdn`` over ``conditions`` in one vectorized pass.
+
+    Returns the per-point :class:`PdnEvaluation` list (bit-identical to
+    calling ``pdn.evaluate`` per condition), or ``None`` when the batch must
+    go through the scalar path instead -- unsupported/patched model, loads
+    not in canonical order, or an operating point the scalar model rejects.
+
+    ``mode`` forces a FlexWatts evaluation mode (the vector analogue of
+    ``evaluate_in_mode``); it is ignored for other PDN types.  ``batch``
+    allows callers that evaluate several PDNs over the same grid to reuse one
+    :class:`ConditionsBatch` layout.
+    """
+    if not supports_columns(pdn):
+        return None
+    conditions = list(conditions)
+    if not conditions:
+        return []
+    if batch is None:
+        batch = ConditionsBatch.from_conditions(conditions)
+        if batch is None:
+            return None
+    try:
+        if type(pdn) is _flexwatts_class():
+            return _evaluate_flexwatts(pdn, batch, mode)
+        supply, current, loss, rails = _COLUMN_KERNELS[type(pdn)](pdn, batch)
+        return _materialize(batch, pdn.name, supply, current, loss, rails)
+    except ColumnarFallback:
+        return None

@@ -191,6 +191,51 @@ class IntervalSimulator:
     # ------------------------------------------------------------------ #
     # Simulation
     # ------------------------------------------------------------------ #
+
+    #: Distinct operating points a trace must reach before the phase batch
+    #: is worth a vectorized pass; short traces stay on the scalar memo.
+    _COLUMNAR_PREFILL_THRESHOLD = 8
+
+    def _prefill_phase_batch(
+        self,
+        pdn: PowerDeliveryNetwork,
+        trace: WorkloadTrace,
+        durations_s: Sequence[float],
+        evaluations: Dict[Tuple[object, ...], PdnEvaluation],
+    ) -> None:
+        """Seed the per-run memo with one vectorized pass over the phases.
+
+        The phase loop batches evaluations by operating point already; for
+        static PDNs on traces with many *distinct* points (DVFS ladders,
+        randomized scenario storms) this computes the whole batch as column
+        arrays instead of one Python call per point.  The columnar kernels
+        are bit-identical to ``pdn.evaluate`` (they share the equivalence
+        oracle), so seeding the memo never changes a simulation result; if
+        the model or any point declines columnarisation, the memo is simply
+        left empty and the loop evaluates per point as before.
+        """
+        distinct: Dict[Tuple[object, ...], OperatingConditions] = {}
+        for index, phase in enumerate(trace.phases):
+            if durations_s[index] == 0.0:
+                continue
+            try:
+                conditions = self._conditions_for_phase(phase)
+            except ConfigurationError:
+                # A malformed phase must fail inside the loop, at its place
+                # in the trace, so callers observe the same partial state a
+                # per-point run would have produced.
+                return
+            distinct.setdefault((None, conditions_key(conditions)), conditions)
+        if len(distinct) < self._COLUMNAR_PREFILL_THRESHOLD:
+            return
+        # Imported lazily: the columnar core lazily imports repro.core in
+        # the other direction, and neither import may run at module load.
+        from repro.pdn.columnar import evaluate_columns
+
+        results = evaluate_columns(pdn, list(distinct.values()))
+        if results is not None:
+            evaluations.update(zip(distinct.keys(), results))
+
     def run(
         self,
         trace: WorkloadTrace,
@@ -235,6 +280,8 @@ class IntervalSimulator:
         # mode), never on when in the trace they happen.
         evaluations: Dict[Tuple[object, ...], PdnEvaluation] = {}
         predictions: Dict[Tuple[object, ...], PdnMode] = {}
+        if not adaptive and evaluate is None:
+            self._prefill_phase_batch(pdn, trace, durations_s, evaluations)
 
         def evaluate_point(
             conditions: OperatingConditions, mode: Optional[PdnMode]

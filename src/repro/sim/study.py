@@ -478,11 +478,30 @@ class SimEngine(TwoTierCacheMixin):
             instance: object, conditions: OperatingConditions
         ) -> PdnEvaluation:
             """Serve the phase through the shared analytic memo cache."""
-            return self._spot.evaluate_cached(pdn_name, conditions, overrides)
+            return self._spot.evaluate(pdn_name, conditions, overrides)
 
         return simulator.run(trace, pdn, evaluate=evaluate)
 
-    def evaluate_cached(
+    @property
+    def columnar_enabled(self) -> bool:
+        """Always ``False``: simulations do not columnarise.
+
+        A simulation unit is a stateful trace replay (mode-switch
+        controllers, PMU telemetry, residency guards), not a pure function
+        of column arrays; the vectorization this engine *does* get is
+        inside each replay, where the interval simulator batches phase
+        evaluations per operating point and the backing analytic engine
+        evaluates them through the columnar core.
+        """
+        return False
+
+    def evaluate_columns(
+        self, units: Sequence[Tuple[str, SimPoint, OverrideKey]]
+    ) -> Optional[List[SimulationResult]]:
+        """Decline every batch (see :attr:`columnar_enabled`)."""
+        return None
+
+    def _evaluate_cached(
         self, pdn_name: str, point: SimPoint, overrides: OverrideKey = ()
     ) -> SimulationResult:
         """Simulate one scenario on one PDN through the memo cache."""
@@ -494,6 +513,27 @@ class SimEngine(TwoTierCacheMixin):
             return cached
         result = self.evaluate_uncached(pdn_name, point, overrides)
         return self.cache_install(key, result)
+
+    def evaluate(
+        self, pdn_name: str, point: SimPoint, overrides: OverrideKey = ()
+    ) -> SimulationResult:
+        """Simulate one scenario on one PDN (cached).
+
+        The public single-point entry, mirroring :meth:`PdnSpot.evaluate`;
+        for many points use :meth:`evaluate_units`.
+        """
+        return self._evaluate_cached(pdn_name, point, overrides)
+
+    def evaluate_cached(
+        self, pdn_name: str, point: SimPoint, overrides: OverrideKey = ()
+    ) -> SimulationResult:
+        """Thin alias of :meth:`evaluate` (the historical spelling).
+
+        Retained so pre-consolidation callers keep working; new code should
+        call :meth:`evaluate` for one point or :meth:`evaluate_units` for a
+        batch.
+        """
+        return self._evaluate_cached(pdn_name, point, overrides)
 
     # ------------------------------------------------------------------ #
     # Lazily built, override-keyed shared state
@@ -556,15 +596,16 @@ class SimEngine(TwoTierCacheMixin):
     ) -> List[SimulationResult]:
         """Simulate ``(pdn_name, point, overrides)`` units, in order.
 
-        Exactly the contract of :meth:`PdnSpot.evaluate_units`: the default
-        serial path runs through :meth:`evaluate_cached`; a parallel backend
+        Exactly the contract of :meth:`PdnSpot.evaluate_units` (the single
+        public batch entry point of every engine): the default serial path
+        memoises each unit on the calling thread; a parallel backend
         deduplicates, shards, merges worker results back into this engine's
         memo cache and returns the results in canonical unit order.
         """
         backend = make_executor(executor, jobs=jobs)
         if backend is None:
             return [
-                self.evaluate_cached(name, point, overrides)
+                self._evaluate_cached(name, point, overrides)
                 for name, point, overrides in units
             ]
         return backend.evaluate_units(self, units)

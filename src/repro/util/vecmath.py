@@ -1,0 +1,98 @@
+"""Bit-exact vectorized math helpers for the columnar evaluation core.
+
+The columnar kernels in :mod:`repro.pdn.columnar` must return results that
+are *bit-identical* to the scalar per-point models (the per-point path is the
+reference oracle; seed-equivalence and serve bit-identity tests compare with
+``==``).  NumPy's elementwise ``+ - * /``, ``np.maximum`` and ``np.minimum``
+are IEEE-754 operations identical to CPython's scalar float arithmetic, but
+its transcendental kernels (``**``, ``np.exp``) use SIMD implementations
+whose results can differ from ``math.exp`` / ``float.__pow__`` in the last
+ulp.
+
+The helpers here side-step that: they reduce an input array to its unique
+values, apply the *scalar* CPython operation to each unique value once, and
+scatter the results back.  On grid workloads the transcendental inputs are
+functions of a few low-cardinality columns (TDP, workload type), so the
+number of scalar calls is tiny compared to the lane count -- the memo is
+essentially free while guaranteeing bit-identity with the oracle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+try:  # pragma: no cover - exercised implicitly by every columnar test
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain bakes numpy in
+    _np = None
+
+#: Whether the vectorized evaluation core is available at all.
+HAVE_NUMPY = _np is not None
+
+
+def per_unique(values, fn: Callable[[float], float]):
+    """Apply scalar ``fn`` once per unique value and scatter back.
+
+    ``fn`` receives a Python ``float`` and must return one, so the result of
+    every lane is exactly what the scalar model would have computed for it.
+    """
+    arr = _np.asarray(values, dtype=_np.float64)
+    uniq, inverse = _np.unique(arr, return_inverse=True)
+    mapped = _np.array([fn(v) for v in uniq.tolist()], dtype=_np.float64)
+    return mapped[inverse].reshape(arr.shape)
+
+
+def exact_pow(base, exponent):
+    """``base ** exponent`` computed with CPython ``float.__pow__`` per lane.
+
+    ``exponent`` is passed through unchanged (``int`` exponents stay ``int``),
+    so ``exact_pow(x, 2)`` reproduces the scalar ``x**2`` exactly, including
+    any difference from ``x*x``.
+    """
+    return per_unique(base, lambda v: v**exponent)
+
+
+def exact_pow2(base, exponent_a, exponent_b):
+    """Both ``base ** exponent_a`` and ``base ** exponent_b`` in one pass.
+
+    Shares a single unique-value reduction of ``base`` between the two
+    exponents (the guardband model needs ``ratio**delta`` and ``ratio**2``
+    over the same ratio column); each lane is still computed with CPython
+    ``float.__pow__`` exactly as the scalar model does.
+    """
+    arr = _np.asarray(base, dtype=_np.float64)
+    uniq, inverse = _np.unique(arr, return_inverse=True)
+    lanes = uniq.tolist()
+    mapped_a = _np.array([v**exponent_a for v in lanes], dtype=_np.float64)
+    mapped_b = _np.array([v**exponent_b for v in lanes], dtype=_np.float64)
+    return (
+        mapped_a[inverse].reshape(arr.shape),
+        mapped_b[inverse].reshape(arr.shape),
+    )
+
+
+def exact_exp(x):
+    """``math.exp`` applied per lane, bit-identical to the scalar model."""
+    return per_unique(x, math.exp)
+
+
+def per_unique_pairs(keys, values, fn):
+    """Apply scalar ``fn(key, value)`` once per unique ``(key, value)`` pair.
+
+    Used for quantities that depend on two low-cardinality columns at once
+    (e.g. a regulator power state and its TDP-derived sizing current).
+    ``keys`` is a sequence of hashable objects, ``values`` a float array.
+    Returns a float64 array.
+    """
+    arr = _np.asarray(values, dtype=_np.float64)
+    out = _np.empty(arr.shape, dtype=_np.float64)
+    memo = {}
+    lanes = arr.tolist()
+    for index, (key, value) in enumerate(zip(keys, lanes)):
+        pair = (key, value)
+        result = memo.get(pair)
+        if result is None:
+            result = memo[pair] = fn(key, value)
+        out[index] = result
+    return out

@@ -5,10 +5,10 @@ import pytest
 from repro.analysis.comparison import best_pdn, merge_comparisons, normalised_metric_table
 from repro.analysis.pdnspot import PdnSpot
 from repro.analysis.reporting import format_mapping_table, format_table
-from repro.analysis.sweep import records_for_pdn, sweep_application_ratio, sweep_tdp
+from repro.analysis.study import Study
+from repro.analysis.sweep import records_for_pdn
 from repro.analysis.validation import ValidationHarness
 from repro.pdn.base import OperatingConditions
-from repro.pdn.registry import build_pdn
 from repro.power.domains import WorkloadType
 from repro.power.power_states import PackageCState
 from repro.util.errors import ConfigurationError
@@ -77,20 +77,23 @@ class TestPdnSpotFacade:
 
 
 class TestSweeps:
-    def test_sweep_tdp_records(self):
-        pdns = [build_pdn("IVR"), build_pdn("MBVR")]
-        records = sweep_tdp(pdns, (4.0, 18.0))
+    def test_study_tdp_sweep_records(self):
+        spot = PdnSpot(pdn_names=["IVR", "MBVR"])
+        records = spot.run(Study.over_tdps((4.0, 18.0))).to_records()
         assert len(records) == 4
         assert {record["pdn"] for record in records} == {"IVR", "MBVR"}
 
-    def test_sweep_application_ratio_monotone_for_mbvr(self):
-        records = sweep_application_ratio([build_pdn("MBVR")], (0.4, 0.6, 0.8), 18.0)
+    def test_study_application_ratio_sweep_monotone_for_mbvr(self):
+        spot = PdnSpot(pdn_names=["MBVR"], baseline_name="MBVR")
+        records = spot.run(
+            Study.over_application_ratios((0.4, 0.6, 0.8), 18.0)
+        ).to_records()
         etees = [record["etee"] for record in records]
         assert etees == sorted(etees)
 
     def test_records_for_pdn_filter(self):
-        pdns = [build_pdn("IVR"), build_pdn("MBVR")]
-        records = sweep_tdp(pdns, (4.0,))
+        spot = PdnSpot(pdn_names=["IVR", "MBVR"])
+        records = spot.run(Study.over_tdps((4.0,))).to_records()
         assert len(records_for_pdn(records, "IVR")) == 1
 
 

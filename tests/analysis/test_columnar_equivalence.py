@@ -1,0 +1,196 @@
+"""Property-based equivalence suite for the vectorized columnar core.
+
+The columnar path's contract is **bit-identity**: for every PDN topology,
+every metric and every operating point, ``evaluate_columns`` must return
+``PdnEvaluation`` objects that compare *equal* (dataclass equality over
+every float field, loss breakdown and rail voltage) to the per-point scalar
+oracle.  These tests exercise that contract over randomized grids -- seeded
+``random.Random`` draws over topology x parameter overrides x operating
+conditions -- plus the negotiated fallbacks: patched models and engines
+must decline the fast path so the patch is honoured, and executor sharding
+of column blocks must reproduce the serial result exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.pdnspot import PdnSpot
+from repro.core.hybrid_vr import PdnMode
+from repro.pdn import columnar
+from repro.pdn.base import OperatingConditions
+from repro.pdn.registry import build_pdn
+from repro.power.domains import WorkloadType
+from repro.power.power_states import BATTERY_LIFE_STATES
+from repro.sim.engine import IntervalSimulator
+from repro.sim.study import SimEngine, SimPoint
+
+pytestmark = pytest.mark.skipif(
+    not columnar.HAVE_NUMPY, reason="columnar path needs NumPy"
+)
+
+PDN_NAMES = ("IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts")
+
+WORKLOAD_TYPES = (
+    WorkloadType.CPU_SINGLE_THREAD,
+    WorkloadType.CPU_MULTI_THREAD,
+    WorkloadType.GRAPHICS,
+)
+
+#: Override keys with value ranges safely inside every model's domain.
+OVERRIDE_RANGES = {
+    "ivr_tolerance_band_v": (0.010, 0.030),
+    "mbvr_tolerance_band_v": (0.010, 0.030),
+    "ldo_tolerance_band_v": (0.008, 0.025),
+    "leakage_exponent": (2.2, 3.2),
+    "flexwatts_loadline_scale": (1.02, 1.25),
+}
+
+
+def random_conditions(rng: random.Random, count: int):
+    """A randomized mix of active-workload and package-C-state points."""
+    points = []
+    for _ in range(count):
+        tdp_w = rng.uniform(4.0, 50.0)
+        if rng.random() < 0.75:
+            points.append(
+                OperatingConditions.for_active_workload(
+                    tdp_w, rng.uniform(0.40, 0.80), rng.choice(WORKLOAD_TYPES)
+                )
+            )
+        else:
+            points.append(
+                OperatingConditions.for_power_state(
+                    tdp_w, rng.choice(BATTERY_LIFE_STATES)
+                )
+            )
+    return points
+
+
+def random_overrides(rng: random.Random):
+    """A random override tuple in the engine's canonical key form."""
+    keys = rng.sample(sorted(OVERRIDE_RANGES), k=rng.randint(1, 2))
+    return tuple((key, round(rng.uniform(*OVERRIDE_RANGES[key]), 6)) for key in keys)
+
+
+# --------------------------------------------------------------------------- #
+# Model level: columnar kernels versus the scalar oracle
+# --------------------------------------------------------------------------- #
+class TestModelEquivalence:
+    @pytest.mark.parametrize("pdn_name", PDN_NAMES)
+    @pytest.mark.parametrize("seed", [7, 1337])
+    def test_randomized_grid_matches_oracle(self, pdn_name, seed):
+        rng = random.Random(seed)
+        pdn = build_pdn(pdn_name)
+        conditions = random_conditions(rng, 60)
+        results = columnar.evaluate_columns(pdn, conditions)
+        assert results is not None, "unpatched model must take the fast path"
+        assert results == [pdn.evaluate(c) for c in conditions]
+
+    @pytest.mark.parametrize("mode", list(PdnMode))
+    def test_flexwatts_forced_modes_match_oracle(self, mode):
+        rng = random.Random(23)
+        flexwatts = build_pdn("FlexWatts")
+        conditions = random_conditions(rng, 40)
+        results = columnar.evaluate_columns(flexwatts, conditions, mode=mode)
+        assert results is not None
+        assert results == [flexwatts.evaluate_in_mode(c, mode) for c in conditions]
+
+    def test_instance_patch_loses_capability(self):
+        pdn = build_pdn("MBVR")
+        assert columnar.supports_columns(pdn)
+        pdn.evaluate = lambda conditions: "patched"  # what-if style instance patch
+        assert not columnar.supports_columns(pdn)
+        assert columnar.evaluate_columns(pdn, random_conditions(random.Random(1), 4)) is None
+
+    def test_class_patch_loses_capability(self, monkeypatch):
+        from repro.pdn.ivr import IvrPdn
+
+        original = IvrPdn.evaluate
+        monkeypatch.setattr(IvrPdn, "evaluate", lambda self, c: original(self, c))
+        assert not columnar.supports_columns(build_pdn("IVR"))
+
+
+# --------------------------------------------------------------------------- #
+# Engine level: evaluate_units through the columnar negotiation
+# --------------------------------------------------------------------------- #
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("seed", [11, 2024])
+    def test_randomized_units_with_overrides(self, seed):
+        rng = random.Random(seed)
+        spot = PdnSpot(enable_cache=False)
+        override_pool = [(), random_overrides(rng), random_overrides(rng)]
+        units = [
+            (rng.choice(PDN_NAMES), conditions, rng.choice(override_pool))
+            for conditions in random_conditions(rng, 80)
+        ]
+        got = spot.evaluate_units(units)
+        assert got == [spot.evaluate_uncached(*unit) for unit in units]
+
+    def test_cached_engine_matches_uncached(self):
+        rng = random.Random(5)
+        units = [
+            (name, conditions, ())
+            for conditions in random_conditions(rng, 30)
+            for name in PDN_NAMES
+        ]
+        cached = PdnSpot().evaluate_units(units)
+        uncached = PdnSpot(enable_cache=False).evaluate_units(units)
+        assert cached == uncached
+
+    def test_columnar_disabled_engine_matches(self):
+        rng = random.Random(17)
+        units = [
+            (name, conditions, ())
+            for conditions in random_conditions(rng, 25)
+            for name in PDN_NAMES
+        ]
+        columnar_spot = PdnSpot(enable_cache=False)
+        scalar_spot = PdnSpot(enable_cache=False, columnar=False)
+        assert columnar_spot.columnar_enabled
+        assert not scalar_spot.columnar_enabled
+        assert columnar_spot.evaluate_units(units) == scalar_spot.evaluate_units(units)
+
+    def test_engine_patch_declines_columnar(self, monkeypatch):
+        spot = PdnSpot(enable_cache=False)
+        sentinel = object()
+        monkeypatch.setattr(
+            spot, "evaluate_uncached", lambda name, c, overrides=(): sentinel
+        )
+        conditions = random_conditions(random.Random(3), 6)
+        units = [("IVR", c, ()) for c in conditions]
+        assert spot.evaluate_columns(units) is None
+        assert spot.evaluate_units(units) == [sentinel] * len(units)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_executor_columnar_shards_bit_identical(self, backend):
+        # 300 units across two override variants: enough for multiple whole
+        # column blocks per shard, small enough for a test-suite budget.
+        rng = random.Random(29)
+        overrides = (("ivr_tolerance_band_v", 0.012),)
+        units = [
+            (name, conditions, rng.choice([(), overrides]))
+            for conditions in random_conditions(rng, 60)
+            for name in PDN_NAMES
+        ]
+        serial = PdnSpot(enable_cache=False).evaluate_units(units)
+        parallel = PdnSpot(enable_cache=False).evaluate_units(
+            units, executor=backend, jobs=2
+        )
+        assert parallel == serial
+
+
+# --------------------------------------------------------------------------- #
+# Simulation level: the interval simulator's vectorized phase prefill
+# --------------------------------------------------------------------------- #
+class TestSimPrefillEquivalence:
+    @pytest.mark.parametrize("pdn_name", ["MBVR", "FlexWatts"])
+    def test_prefill_matches_scalar_phase_loop(self, pdn_name, monkeypatch):
+        point = SimPoint(scenario="bursty-interactive", tdp_w=18.0)
+        monkeypatch.setattr(IntervalSimulator, "_COLUMNAR_PREFILL_THRESHOLD", 1)
+        prefilled = SimEngine(enable_cache=False).evaluate(pdn_name, point)
+        monkeypatch.setattr(
+            IntervalSimulator, "_COLUMNAR_PREFILL_THRESHOLD", 10**9
+        )
+        scalar = SimEngine(enable_cache=False).evaluate(pdn_name, point)
+        assert prefilled == scalar

@@ -7,11 +7,6 @@ import pytest
 from repro.analysis.pdnspot import PdnSpot
 from repro.analysis.resultset import MISSING, ResultSet
 from repro.analysis.study import Scenario, Study, evaluate_study
-from repro.analysis.sweep import (
-    sweep_application_ratio,
-    sweep_power_states,
-    sweep_tdp,
-)
 from repro.pdn.base import OperatingConditions
 from repro.pdn.registry import build_pdn
 from repro.power.domains import WorkloadType
@@ -278,42 +273,28 @@ class TestSeedEquivalence:
         actual = spot.run(Study.over_power_states(18.0)).to_records()
         assert actual == expected
 
-    def test_deprecated_shims_warn_and_match_seed(self):
-        pdns = [build_pdn("IVR"), build_pdn("MBVR")]
-        with pytest.warns(DeprecationWarning, match="migration guide"):
-            via_shim = sweep_tdp(pdns, (4.0, 18.0))
-        assert via_shim == seed_sweep_tdp(pdns, (4.0, 18.0))
-        with pytest.warns(DeprecationWarning, match="migration guide"):
-            via_shim = sweep_application_ratio(pdns, (0.4, 0.8), 18.0)
-        seed = seed_sweep_tdp(pdns, (18.0,), 0.4) + seed_sweep_tdp(pdns, (18.0,), 0.8)
-        assert via_shim == seed
-        with pytest.warns(DeprecationWarning, match="migration guide"):
-            via_shim = sweep_power_states(pdns, 18.0)
-        assert via_shim == seed_sweep_power_states(pdns, 18.0)
+    @pytest.mark.parametrize(
+        "name", ["sweep_tdp", "sweep_application_ratio", "sweep_power_states"]
+    )
+    def test_removed_shims_raise_with_study_replacement(self, name):
+        # Both historical import spellings must fail with the same guidance.
+        with pytest.raises(ImportError, match="was removed") as excinfo:
+            getattr(__import__("repro.analysis.sweep", fromlist=[name]), name)
+        assert "Study" in str(excinfo.value)
+        import repro.analysis
 
-    def test_deprecation_warning_names_the_docs_page(self):
+        with pytest.raises(ImportError, match="was removed"):
+            getattr(repro.analysis, name)
+
+    def test_removal_error_names_the_docs_page(self):
         from repro.analysis.sweep import MIGRATION_GUIDE
 
-        pdns = [build_pdn("IVR")]
-        with pytest.warns(DeprecationWarning) as captured:
-            sweep_tdp(pdns, (4.0,))
-        message = str(captured[0].message)
+        with pytest.raises(ImportError) as excinfo:
+            from repro.analysis.sweep import sweep_tdp  # noqa: F401
+        message = str(excinfo.value)
         assert MIGRATION_GUIDE in message
         assert "docs/guides/migration.md" in message
-
-    def test_shims_keep_duplicate_named_instances(self):
-        # Legacy what-if pattern: two same-named instances with different
-        # parameters must yield one record each, as the seed helpers did.
-        from repro.power.parameters import default_parameters
-
-        nominal = build_pdn("IVR")
-        perturbed = build_pdn(
-            "IVR", default_parameters().with_overrides(ivr_tolerance_band_v=0.010)
-        )
-        with pytest.warns(DeprecationWarning):
-            records = sweep_tdp([nominal, perturbed], (10.0,))
-        assert len(records) == 2
-        assert records[0]["etee"] != records[1]["etee"]
+        assert "to_records()" in message
 
     def test_pdn_restriction(self, spot):
         study = Study.builder("subset").tdps(4.0).pdns("IVR", "FlexWatts").build()

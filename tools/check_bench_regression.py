@@ -19,11 +19,22 @@ cache regression -- a big model speed-up can even trip the gate.  That is the
 signal to **refresh the committed baseline in the same PR**::
 
     PYTHONPATH=src python -m pytest benchmarks -q \
-        --benchmark-json benchmarks/baseline/BENCH_sweep.json
+        --benchmark-json /tmp/BENCH_full.json
+    python tools/compact_bench_baseline.py /tmp/BENCH_full.json \
+        -o benchmarks/baseline/BENCH_sweep.json
 
 and commit the regenerated file alongside the model change, which re-anchors
 the ratio.  A genuine cache regression (hits suddenly costing like misses)
 moves only the numerator and fails the gate on an unchanged baseline.
+
+The committed baseline uses the *compact* format (per-benchmark summary
+stats only, no raw per-round samples); this script reads both the compact
+format and raw ``--benchmark-json`` output interchangeably.
+
+``--max-ratio`` adds a baseline-independent gate on the current run: with
+``--relative-to`` it asserts ``mean(gated) / mean(reference) <= max-ratio``
+on the CI machine itself.  CI uses it to require the vectorized columnar
+path to beat the per-point path by at least 10x (``--max-ratio 0.1``).
 
 Usage (what .github/workflows/ci.yml runs)::
 
@@ -44,17 +55,34 @@ from typing import Dict, Optional
 
 
 def load_means(path: Path) -> Dict[str, float]:
-    """Benchmark name -> mean seconds from a pytest-benchmark JSON file."""
+    """Benchmark name -> mean seconds from a benchmark JSON file.
+
+    Accepts both supported layouts:
+
+    * the raw ``pytest-benchmark --benchmark-json`` output, where
+      ``benchmarks`` is a *list* of entries with full per-round ``stats``
+      (including every raw timing sample), and
+    * the compact committed-baseline format written by
+      ``tools/compact_bench_baseline.py``, where ``benchmarks`` is a *dict*
+      mapping benchmark name to per-group summary stats only.
+    """
     try:
         payload = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, ValueError) as error:
         raise SystemExit(f"error: cannot read benchmark JSON {path}: {error}")
     means: Dict[str, float] = {}
-    for entry in payload.get("benchmarks", []):
-        name = entry.get("name")
-        mean = entry.get("stats", {}).get("mean")
-        if isinstance(name, str) and isinstance(mean, (int, float)):
-            means[name] = float(mean)
+    benchmarks = payload.get("benchmarks", [])
+    if isinstance(benchmarks, dict):
+        for name, stats in benchmarks.items():
+            mean = stats.get("mean") if isinstance(stats, dict) else None
+            if isinstance(name, str) and isinstance(mean, (int, float)):
+                means[name] = float(mean)
+    else:
+        for entry in benchmarks:
+            name = entry.get("name")
+            mean = entry.get("stats", {}).get("mean")
+            if isinstance(name, str) and isinstance(mean, (int, float)):
+                means[name] = float(mean)
     if not means:
         raise SystemExit(f"error: no benchmarks found in {path}")
     return means
@@ -108,9 +136,24 @@ def main(argv: Optional[list] = None) -> int:
         default=2.0,
         help="maximum allowed current/baseline ratio (default: %(default)s)",
     )
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=None,
+        help="absolute ceiling on the gated quantity in the CURRENT run "
+        "(requires --relative-to). E.g. --relative-to per_point "
+        "--max-ratio 0.1 asserts the gated benchmark runs at least 10x "
+        "faster than the reference on this very machine, independent of "
+        "the committed baseline.",
+    )
     args = parser.parse_args(argv)
     if args.threshold <= 0.0:
         parser.error("--threshold must be positive")
+    if args.max_ratio is not None:
+        if args.max_ratio <= 0.0:
+            parser.error("--max-ratio must be positive")
+        if args.relative_to is None:
+            parser.error("--max-ratio needs --relative-to (it gates a ratio)")
 
     current_means = load_means(args.current)
     baseline_means = load_means(args.baseline)
@@ -138,12 +181,25 @@ def main(argv: Optional[list] = None) -> int:
                     f"    {name}: {current_means[name] / baseline_means[name]:.3f}"
                 )
 
+    failed = False
+    if args.max_ratio is not None:
+        print(f"  max-ratio gate:  {current:.6g} <= {args.max_ratio:g} required")
+        if current > args.max_ratio:
+            print(
+                f"FAIL: {args.benchmark} is {current:.3g}x the reference "
+                f"{args.relative_to} (> {args.max_ratio:g}x allowed)",
+                file=sys.stderr,
+            )
+            failed = True
+
     if ratio > args.threshold:
         print(
             f"FAIL: {args.benchmark} regressed {ratio:.2f}x "
             f"(> {args.threshold:g}x allowed)",
             file=sys.stderr,
         )
+        failed = True
+    if failed:
         return 1
     print("OK: within threshold")
     return 0
