@@ -21,7 +21,10 @@ The library has two halves, mirroring the paper:
 Both engines share a two-tier evaluation cache (:mod:`repro.cache`) and can
 be served from one warm long-running process (:mod:`repro.serve`,
 ``repro serve``) that coalesces concurrent overlapping requests into
-single-flight evaluations.
+single-flight evaluations.  Every layer is instrumented through the
+unified observability package (:mod:`repro.obs`): span tracing with
+Chrome-trace export (``--trace FILE``), process-wide metrics
+(``GET /v1/metrics``), and :class:`RunStats` on result containers.
 
 Quickstart
 ----------
@@ -67,10 +70,19 @@ from repro.sim import (
     SimulationResult,
     run_sim,
 )
+from repro.obs import (
+    METRICS,
+    MetricsRegistry,
+    RunStats,
+    Tracer,
+    install_tracer,
+    uninstall_tracer,
+    write_chrome_trace,
+)
 from repro.serve import EvaluationServer, ServeClient
 from repro.workloads.scenarios import available_scenarios, build_scenario_trace
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "PdnSpot",
@@ -112,5 +124,12 @@ __all__ = [
     "run_optimization",
     "EvaluationServer",
     "ServeClient",
+    "METRICS",
+    "MetricsRegistry",
+    "RunStats",
+    "Tracer",
+    "install_tracer",
+    "uninstall_tracer",
+    "write_chrome_trace",
     "__version__",
 ]

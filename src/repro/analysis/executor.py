@@ -77,6 +77,8 @@ from typing import (
 )
 
 from repro.analysis.study import OverrideKey
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import METRICS
 from repro.util.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pdnspot imports us)
@@ -102,6 +104,23 @@ Task = Tuple[int, str, EvalPoint, OverrideKey]
 
 #: A completed chunk: ``(slot, result)`` pairs, in any order.
 ChunkResult = List[Tuple[int, EvalResult]]
+
+#: What a process-pool worker ships back per chunk: the result pairs,
+#: whether the columnar path evaluated them, and the worker's drained
+#: trace-span batch (empty when tracing is disabled).
+WorkerChunkPayload = Tuple[ChunkResult, bool, List["obs_trace.SpanRecord"]]
+
+# Instruments bound once at import time (hot paths never do a registry
+# lookup).  Cache-tier counters tick on the parent side of any fork --
+# `TwoTierCacheMixin` only ever runs in the dispatching process.
+_MEMORY_HITS = METRICS.counter("cache.memory.hits")
+_DISK_HITS = METRICS.counter("cache.disk.hits")
+_LOOKUP_MISSES = METRICS.counter("cache.lookup.misses")
+_CACHE_INSTALLS = METRICS.counter("cache.installs")
+_CHUNKS = METRICS.counter("executor.chunks")
+_COLUMNAR_CHUNKS = METRICS.counter("executor.columnar.chunks")
+_COLUMNAR_UNITS = METRICS.counter("executor.columnar.units")
+_SCALAR_UNITS = METRICS.counter("executor.scalar.units")
 
 
 class WorkerRecipe(Protocol):
@@ -231,12 +250,15 @@ class TwoTierCacheMixin:
             cached = self._cache.get(key)
             if cached is not None:
                 self._cache_hits += 1
+                _MEMORY_HITS.inc()
                 return self._copy_cached(cached)
         if self._disk_cache is None:
+            _LOOKUP_MISSES.inc()
             return None
         disk_key = self._disk_key(key)
         payload = self._disk_cache.get(disk_key)
         if payload is None:
+            _LOOKUP_MISSES.inc()
             return None
         if not isinstance(payload, self._payload_type):
             # Structurally valid entry, wrong payload class (e.g. written by
@@ -247,10 +269,12 @@ class TwoTierCacheMixin:
                 f"payload is {type(payload).__name__}, "
                 f"expected {self._payload_type.__name__}",
             )
+            _LOOKUP_MISSES.inc()
             return None
         with self._cache_lock:
             master = self._cache.setdefault(key, payload)
             self._cache_hits += 1
+            _DISK_HITS.inc()
             return self._copy_cached(master)
 
     def cache_install(
@@ -268,6 +292,7 @@ class TwoTierCacheMixin:
             self._cache_misses += 1
             self._cache[key] = result
             copy = self._copy_cached(result)
+        _CACHE_INSTALLS.inc()
         if self._disk_cache is not None:
             self._disk_cache.put(self._disk_key(key), result)
         return copy
@@ -341,17 +366,37 @@ class WorkerConfig:
 _WORKER_ENGINE: Optional["EvaluationEngine"] = None
 
 
-def _init_worker(config: WorkerRecipe) -> None:
-    """Process-pool initializer: build the worker-local engine once."""
+def _init_worker(config: WorkerRecipe, tracing: bool = False) -> None:
+    """Process-pool initializer: build the worker-local engine once.
+
+    With ``tracing`` set (the parent had a tracer installed at dispatch
+    time) the worker installs its own :class:`~repro.obs.trace.Tracer`;
+    its spans are drained per chunk and shipped back in the
+    :data:`WorkerChunkPayload`, so one exported trace covers the fork
+    boundary with correct worker pids.
+    """
     global _WORKER_ENGINE
     _WORKER_ENGINE = config.build_engine()
+    if tracing:
+        obs_trace.install_tracer()
 
 
-def _evaluate_chunk(chunk: List[Task]) -> ChunkResult:
-    """Evaluate one task chunk in a worker process."""
+def _evaluate_chunk(chunk: List[Task]) -> WorkerChunkPayload:
+    """Evaluate one task chunk in a worker process.
+
+    Returns the ``(slot, result)`` pairs together with the columnar flag
+    (counted by the *parent*, whose metrics registry survives the pool)
+    and the worker tracer's drained span batch.
+    """
     if _WORKER_ENGINE is None:  # pragma: no cover - initializer always runs first
         raise ConfigurationError("worker process was not initialised")
-    return _evaluate_chunk_in_process(_WORKER_ENGINE, chunk)
+    with obs_trace.span("executor.chunk", category="executor",
+                        units=len(chunk)) as active:
+        pairs, used_columnar = _compute_chunk(_WORKER_ENGINE, chunk)
+        active.set("columnar", used_columnar)
+    tracer = obs_trace.active_tracer()
+    spans = tracer.drain() if tracer is not None else []
+    return pairs, used_columnar, spans
 
 
 class Executor(ABC):
@@ -408,16 +453,21 @@ class Executor(ABC):
         if engine.cache_enabled:
             primaries: Dict[Tuple[object, ...], int] = {}
             duplicates: List[Tuple[int, Tuple[object, ...]]] = []
-            for slot, (name, point, overrides) in enumerate(unit_list):
-                key = engine.cache_key(name, point, overrides)
-                if key in primaries:
-                    duplicates.append((slot, key))
-                    continue
-                cached = engine.cache_lookup(key)
-                if cached is not None:
-                    results[slot] = cached
-                else:
-                    primaries[key] = slot
+            with obs_trace.span("executor.dedupe", category="executor",
+                                backend=self.name) as dedupe_span:
+                for slot, (name, point, overrides) in enumerate(unit_list):
+                    key = engine.cache_key(name, point, overrides)
+                    if key in primaries:
+                        duplicates.append((slot, key))
+                        continue
+                    cached = engine.cache_lookup(key)
+                    if cached is not None:
+                        results[slot] = cached
+                    else:
+                        primaries[key] = slot
+                dedupe_span.set("units", len(unit_list))
+                dedupe_span.set("dispatched", len(primaries))
+                dedupe_span.set("duplicates", len(duplicates))
             tasks: List[Task] = [(slot, *unit_list[slot]) for slot in primaries.values()]
             chunks = shard(*self._plan_shards(engine, tasks))
             if self.uses_parent_models or len(chunks) == 1:
@@ -427,26 +477,37 @@ class Executor(ABC):
                 engine.prime_for_execution(
                     unit_list[slot] for slot in primaries.values()
                 )
-            for chunk_result in self._run_chunks(engine, chunks):
-                for slot, evaluation in chunk_result:
-                    name, point, overrides = unit_list[slot]
-                    key = engine.cache_key(name, point, overrides)
-                    results[slot] = engine.cache_install(key, evaluation)
-            for slot, key in duplicates:
-                resolved = engine.cache_lookup(key)
-                if resolved is None:  # pragma: no cover - install precedes this
-                    raise ConfigurationError(
-                        "cache merge-back lost an evaluation; this is a bug"
-                    )
-                results[slot] = resolved
+            with obs_trace.span("executor.dispatch", category="executor",
+                                backend=self.name, jobs=self.jobs,
+                                chunks=len(chunks)):
+                for chunk_result in self._run_chunks(engine, chunks):
+                    with obs_trace.span("executor.merge_back",
+                                        category="executor",
+                                        units=len(chunk_result)):
+                        for slot, evaluation in chunk_result:
+                            name, point, overrides = unit_list[slot]
+                            key = engine.cache_key(name, point, overrides)
+                            results[slot] = engine.cache_install(key, evaluation)
+            with obs_trace.span("executor.reassemble", category="executor",
+                                duplicates=len(duplicates)):
+                for slot, key in duplicates:
+                    resolved = engine.cache_lookup(key)
+                    if resolved is None:  # pragma: no cover - install precedes this
+                        raise ConfigurationError(
+                            "cache merge-back lost an evaluation; this is a bug"
+                        )
+                    results[slot] = resolved
         else:
             tasks = [(slot, *unit) for slot, unit in enumerate(unit_list)]
             chunks = shard(*self._plan_shards(engine, tasks))
             if self.uses_parent_models or len(chunks) == 1:
                 engine.prime_for_execution(unit_list)
-            for chunk_result in self._run_chunks(engine, chunks):
-                for slot, evaluation in chunk_result:
-                    results[slot] = evaluation
+            with obs_trace.span("executor.dispatch", category="executor",
+                                backend=self.name, jobs=self.jobs,
+                                chunks=len(chunks)):
+                for chunk_result in self._run_chunks(engine, chunks):
+                    for slot, evaluation in chunk_result:
+                        results[slot] = evaluation
         missing = [slot for slot, result in enumerate(results) if result is None]
         if missing:  # pragma: no cover - defensive: a backend dropped work
             raise ConfigurationError(
@@ -502,15 +563,48 @@ def _evaluate_chunk_in_process(
     column block; if it declines (no capability, patched models, points that
     resist columnarisation) every unit runs through the per-point seam.
     """
+    with obs_trace.span("executor.chunk", category="executor",
+                        units=len(chunk)) as active:
+        pairs, used_columnar = _compute_chunk(engine, chunk)
+        active.set("columnar", used_columnar)
+    _note_chunk(len(chunk), used_columnar)
+    return pairs
+
+
+def _compute_chunk(
+    engine: EvaluationEngine, chunk: List[Task]
+) -> Tuple[ChunkResult, bool]:
+    """Run the columnar negotiation for one chunk.
+
+    Returns the ``(slot, result)`` pairs plus whether the engine's
+    vectorized columnar path produced them (``False`` means every unit
+    went through the per-point seam).
+    """
     evaluate_columns = getattr(engine, "evaluate_columns", None)
     if evaluate_columns is not None:
         evaluations = evaluate_columns([task[1:] for task in chunk])
         if evaluations is not None:
-            return [(task[0], result) for task, result in zip(chunk, evaluations)]
-    return [
-        (slot, engine.evaluate_uncached(name, point, overrides))
-        for slot, name, point, overrides in chunk
-    ]
+            return (
+                [(task[0], result) for task, result in zip(chunk, evaluations)],
+                True,
+            )
+    return (
+        [
+            (slot, engine.evaluate_uncached(name, point, overrides))
+            for slot, name, point, overrides in chunk
+        ],
+        False,
+    )
+
+
+def _note_chunk(units: int, used_columnar: bool) -> None:
+    """Count one evaluated chunk in the dispatching process's registry."""
+    _CHUNKS.inc()
+    if used_columnar:
+        _COLUMNAR_CHUNKS.inc()
+        _COLUMNAR_UNITS.inc(units)
+    else:
+        _SCALAR_UNITS.inc(units)
 
 
 class SerialExecutor(Executor):
@@ -580,12 +674,20 @@ class ProcessExecutor(Executor):
                 yield _evaluate_chunk_in_process(engine, chunk)
             return
         config = engine.worker_config()
+        tracing = obs_trace.tracing_enabled()
         with futures.ProcessPoolExecutor(
-            max_workers=len(chunks), initializer=_init_worker, initargs=(config,)
+            max_workers=len(chunks),
+            initializer=_init_worker,
+            initargs=(config, tracing),
         ) as pool:
             submitted = [pool.submit(_evaluate_chunk, chunk) for chunk in chunks]
             for future in futures.as_completed(submitted):
-                yield future.result()
+                pairs, used_columnar, spans = future.result()
+                _note_chunk(len(pairs), used_columnar)
+                tracer = obs_trace.active_tracer()
+                if spans and tracer is not None:
+                    tracer.absorb(spans)
+                yield pairs
 
 
 #: Registry of the built-in backends, keyed by their CLI/``make_executor`` name.

@@ -24,6 +24,7 @@ True
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -37,6 +38,9 @@ from repro.analysis.executor import (
 )
 from repro.cache import DiskCache, DiskCacheLike, parameters_fingerprint, resolve_disk_cache
 from repro.analysis.resultset import Record, ResultSet
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import METRICS
+from repro.obs.runstats import RunStats, executor_label
 from repro.analysis.study import (
     OverrideKey,
     Study,
@@ -74,6 +78,16 @@ class CacheInfo:
         """Fraction of lookups served from the cache."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+# Columnar-dispatch instruments, bound once at import time.  They tick in
+# whichever process runs the block (the parent for serial/thread backends;
+# worker-side ticks are process-local and intentionally not merged -- the
+# parent's executor-level counters already cover dispatched units).
+_COLUMNAR_BLOCKS = METRICS.counter("engine.columnar.blocks")
+_COLUMNAR_BLOCK_UNITS = METRICS.counter("engine.columnar.block_units")
+_SCALAR_FALLBACK_BLOCKS = METRICS.counter("engine.scalar_fallback.blocks")
+_SCALAR_FALLBACK_UNITS = METRICS.counter("engine.scalar_fallback.units")
 
 
 def _copy_evaluation(evaluation: PdnEvaluation) -> PdnEvaluation:
@@ -367,16 +381,36 @@ class PdnSpot(TwoTierCacheMixin):
             else:
                 batch = columnar_core.ConditionsBatch.from_conditions(conditions)
                 batches[layout_key] = batch
-            evaluations = None
-            if batch is not None:
-                pdn = self._variant_pdn(name, overrides)
-                evaluations = columnar_core.evaluate_columns(
-                    pdn, conditions, batch=batch
-                )
-            if evaluations is None:
-                evaluations = [
-                    self.evaluate_uncached(name, c, overrides) for c in conditions
-                ]
+            with obs_trace.span("engine.columnar_block", category="engine",
+                                pdn=name, units=len(indices)) as block_span:
+                evaluations = None
+                reason: Optional[str] = None
+                if batch is not None:
+                    pdn = self._variant_pdn(name, overrides)
+                    evaluations = columnar_core.evaluate_columns(
+                        pdn, conditions, batch=batch
+                    )
+                    if evaluations is None:
+                        reason = "model_declined"
+                else:
+                    reason = "batch_unbuildable"
+                if evaluations is None:
+                    _SCALAR_FALLBACK_BLOCKS.inc()
+                    _SCALAR_FALLBACK_UNITS.inc(len(indices))
+                    block_span.set("columnar", False)
+                    block_span.set("fallback_reason", reason)
+                    obs_trace.instant(
+                        "engine.scalar_fallback", category="engine",
+                        pdn=name, units=len(indices), reason=reason,
+                    )
+                    evaluations = [
+                        self.evaluate_uncached(name, c, overrides)
+                        for c in conditions
+                    ]
+                else:
+                    _COLUMNAR_BLOCKS.inc()
+                    _COLUMNAR_BLOCK_UNITS.inc(len(indices))
+                    block_span.set("columnar", True)
             for index, evaluation in zip(indices, evaluations):
                 results[index] = evaluation
         return results
@@ -511,6 +545,8 @@ class PdnSpot(TwoTierCacheMixin):
             Worker count for the parallel backends; ``jobs > 1`` with
             ``executor=None`` selects the process backend.
         """
+        started = time.perf_counter()
+        before = self.cache_info()
         names = study.pdn_names if study.pdn_names is not None else tuple(self._pdns)
         for name in names:
             self.pdn(name)  # fail fast on unknown PDNs
@@ -518,14 +554,25 @@ class PdnSpot(TwoTierCacheMixin):
         for scenario in study.scenarios:
             conditions = scenario.conditions()
             units.extend((name, conditions, scenario.overrides) for name in names)
-        evaluations = self.evaluate_units(units, executor=executor, jobs=jobs)
+        with obs_trace.span("engine.run", category="engine",
+                            study=study.name, units=len(units)):
+            evaluations = self.evaluate_units(units, executor=executor, jobs=jobs)
         records: List[Record] = []
         cursor = 0
         for scenario in study.scenarios:
             paired = list(zip(names, evaluations[cursor : cursor + len(names)]))
             cursor += len(names)
             records.extend(scenario_records(scenario, paired))
-        return ResultSet.from_records(records, name=study.name)
+        results = ResultSet.from_records(records, name=study.name)
+        after = self.cache_info()
+        results.run_stats = RunStats(
+            units=len(units),
+            duration_s=time.perf_counter() - started,
+            cache_hits=after.hits - before.hits,
+            cache_misses=after.misses - before.misses,
+            executor=executor_label(make_executor(executor, jobs=jobs)),
+        )
+        return results
 
     # ------------------------------------------------------------------ #
     # ETEE evaluation

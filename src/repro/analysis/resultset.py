@@ -157,7 +157,7 @@ class ResultSet:
         the results); carried through serialisation.
     """
 
-    __slots__ = ("_columns", "_length", "name")
+    __slots__ = ("_columns", "_length", "name", "run_stats")
 
     def __init__(self, columns: Mapping[str, Sequence[object]], name: str = ""):
         self._columns: Dict[str, List[object]] = {
@@ -170,6 +170,11 @@ class ResultSet:
             )
         self._length = lengths.pop() if lengths else 0
         self.name = name
+        #: Advisory :class:`~repro.obs.runstats.RunStats` of the run that
+        #: produced this table (set by the engines' ``run`` methods).
+        #: Never serialized and never part of equality, so bit-identity
+        #: contracts across executors and the serve boundary are untouched.
+        self.run_stats = None
 
     # ------------------------------------------------------------------ #
     # Construction

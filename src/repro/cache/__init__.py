@@ -13,10 +13,12 @@ See :doc:`/guides/caching` for the architecture and CLI usage.
 
 from repro.cache.store import (
     CACHE_FORMAT_VERSION,
+    CACHE_STATS_SCHEMA_VERSION,
     DiskCache,
     DiskCacheLike,
     DiskCacheStats,
     cache_dir_summary,
+    cache_io_section,
     cache_stats_payload,
     canonical_key,
     parameters_fingerprint,
@@ -26,10 +28,12 @@ from repro.cache.store import (
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
+    "CACHE_STATS_SCHEMA_VERSION",
     "DiskCache",
     "DiskCacheLike",
     "DiskCacheStats",
     "cache_dir_summary",
+    "cache_io_section",
     "cache_stats_payload",
     "canonical_key",
     "parameters_fingerprint",

@@ -56,6 +56,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple, Union
 
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import METRICS
 from repro.util.errors import ConfigurationError
 
 try:  # pragma: no cover - platform probe
@@ -64,6 +66,13 @@ except ImportError:  # pragma: no cover - Windows
     fcntl = None  # type: ignore[assignment]
 
 logger = logging.getLogger("repro.cache")
+
+# Disk I/O instruments, bound once at import time: per-call get/put latency
+# (log-spaced buckets shared with every latency histogram in the process)
+# and the count of corrupt/foreign entries healed by deletion.
+_GET_LATENCY = METRICS.histogram("cache.disk.get_latency_s")
+_PUT_LATENCY = METRICS.histogram("cache.disk.put_latency_s")
+_SELF_HEAL = METRICS.counter("cache.disk.self_heal")
 
 #: Format version baked into every entry address and header.  Bump it when
 #: the entry layout (or the meaning of the pickled payloads) changes; old
@@ -281,8 +290,17 @@ class DiskCache:
         A corrupt, truncated, version-mismatched or foreign entry file is
         *never* raised to the caller: it is logged, counted under
         ``corrupt``, best-effort removed so the next write heals it, and
-        reported as a miss.
+        reported as a miss.  Every call's latency lands in the process-wide
+        ``cache.disk.get_latency_s`` histogram.
         """
+        started = time.perf_counter()
+        try:
+            return self._get(key)
+        finally:
+            _GET_LATENCY.observe(time.perf_counter() - started)
+
+    def _get(self, key: Tuple[object, ...]) -> Optional[object]:
+        """The uninstrumented body of :meth:`get`."""
         path, encoded = self._locate(key)
         try:
             blob = path.read_bytes()
@@ -314,6 +332,11 @@ class DiskCache:
             )
             self._count("_corrupt")
             self._count("_misses")
+            _SELF_HEAL.inc()
+            obs_trace.instant(
+                "cache.self_heal", category="cache",
+                path=str(path), reason=str(error),
+            )
             with contextlib.suppress(OSError):
                 # Heal under the entry lock, and only if the file still holds
                 # the corrupt bytes we read: a concurrent writer may have
@@ -334,8 +357,17 @@ class DiskCache:
         advisory lock (where the platform has ``fcntl``), so concurrent
         writers -- process-pool workers merging the same key, or two warm
         runs racing -- always leave one valid entry.  Filesystem failures
-        degrade to a logged no-op.
+        degrade to a logged no-op.  Every call's latency lands in the
+        process-wide ``cache.disk.put_latency_s`` histogram.
         """
+        started = time.perf_counter()
+        try:
+            return self._put(key, payload)
+        finally:
+            _PUT_LATENCY.observe(time.perf_counter() - started)
+
+    def _put(self, key: Tuple[object, ...], payload: object) -> bool:
+        """The uninstrumented body of :meth:`put`."""
         path, encoded = self._locate(key)
         entry = {
             "format": self.version,
@@ -382,6 +414,11 @@ class DiskCache:
         path = self.entry_path(key)
         logger.warning(
             "disk cache: discarding entry %s: %s", path, reason or "rejected by caller"
+        )
+        _SELF_HEAL.inc()
+        obs_trace.instant(
+            "cache.self_heal", category="cache",
+            path=str(path), reason=reason or "rejected by caller",
         )
         with contextlib.suppress(OSError):
             path.unlink()
@@ -529,23 +566,50 @@ def cache_dir_summary(root: Union[str, Path]) -> Dict[str, Tuple[int, int]]:
     return summary
 
 
+#: Version of the :func:`cache_stats_payload` document schema.  v1 carried
+#: ``cache_dir`` + ``namespaces`` only; v2 added this marker and the ``io``
+#: section (both *additive* -- every v1 key is unchanged).
+CACHE_STATS_SCHEMA_VERSION = 2
+
+
+def cache_io_section() -> Dict[str, object]:
+    """The current process's disk-cache I/O traffic, as a JSON-ready mapping.
+
+    Get/put latency histograms (the shared log-spaced bucket layout, summed
+    in seconds under ``sum_s``) and the count of corrupt-entry self-heal
+    events, accumulated by every :class:`DiskCache` instance in this
+    process.  A fresh inspection process (``repro cache stats``) therefore
+    reports zeros; a long-running one (the evaluation service) reports its
+    lifetime traffic.
+    """
+    return {
+        "get": _GET_LATENCY.as_dict(sum_key="sum_s"),
+        "put": _PUT_LATENCY.as_dict(sum_key="sum_s"),
+        "self_heal": _SELF_HEAL.value,
+    }
+
+
 def cache_stats_payload(root: Union[str, Path]) -> Dict[str, object]:
     """The JSON stats document of a cache directory (the shared schema).
 
     The single source of the on-disk cache stats schema: ``repro cache
     stats --json`` prints exactly this mapping, and the evaluation
     service's ``GET /v1/stats`` embeds it as its ``cache.disk`` section,
-    so the two surfaces can never drift apart.  Keys: ``cache_dir`` (the
-    inspected root, as given) and ``namespaces`` (per-namespace
-    ``{"entries", "size_bytes"}`` footprints from
-    :func:`cache_dir_summary`).
+    so the two surfaces can never drift apart.  Keys: ``schema_version``
+    (:data:`CACHE_STATS_SCHEMA_VERSION`), ``cache_dir`` (the inspected
+    root, as given), ``namespaces`` (per-namespace ``{"entries",
+    "size_bytes"}`` footprints from :func:`cache_dir_summary`, unchanged
+    since v1) and ``io`` (this process's get/put latency and self-heal
+    traffic from :func:`cache_io_section`).
     """
     return {
+        "schema_version": CACHE_STATS_SCHEMA_VERSION,
         "cache_dir": str(root),
         "namespaces": {
             namespace: {"entries": entries, "size_bytes": size_bytes}
             for namespace, (entries, size_bytes) in cache_dir_summary(root).items()
         },
+        "io": cache_io_section(),
     }
 
 

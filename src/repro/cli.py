@@ -18,6 +18,7 @@ The CLI exposes the most common analyses without writing any Python::
     python -m repro cache prune --cache-dir ~/.cache/repro --older-than 604800
     python -m repro serve --cache-dir ~/.cache/repro --jobs 4
     python -m repro sweep --tdps 4 18 50 --server http://127.0.0.1:8737
+    python -m repro sweep --tdps 4 18 50 --jobs 4 --executor process --trace t.json
 
 Every sub-command prints a plain-text table by default (no plotting
 dependency); ``--json`` (and ``--format json|csv`` on ``sweep``/``export``)
@@ -34,6 +35,9 @@ disk, and ``repro cache stats``/``repro cache prune`` inspect and reclaim it.
 :mod:`repro.serve`): concurrent clients coalesce onto single-flight
 evaluations, and ``--server URL`` on ``sweep``/``simulate``/``optimize``
 routes through it with automatic local fallback when it is unreachable.
+``--trace FILE`` (on ``sweep``/``simulate``/``optimize``/``figures``/
+``serve``) records every layer's spans through :mod:`repro.obs` and writes
+a Chrome-trace JSON file on exit (see :doc:`/guides/observability`).
 """
 
 from __future__ import annotations
@@ -127,6 +131,17 @@ def _add_server_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    """Attach the Chrome-trace export flag shared by the grid commands."""
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a span trace of the run and write it to FILE as "
+        "Chrome-trace JSON (open in chrome://tracing or ui.perfetto.dev); "
+        "spans cover the executor, cache tiers, engines and -- with "
+        "--executor process -- every worker process",
+    )
+
+
 def _package_version() -> str:
     """The version of the code actually running.
 
@@ -182,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_flags(figures)
     _add_cache_flag(figures)
+    _add_trace_flag(figures)
 
     predict = subparsers.add_parser(
         "predict", help="show the FlexWatts mode Algorithm 1 selects for an operating point"
@@ -223,6 +239,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_executor_flags(sweep)
     _add_cache_flag(sweep)
     _add_server_flag(sweep)
+    _add_trace_flag(sweep)
 
     simulate = subparsers.add_parser(
         "simulate",
@@ -253,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_executor_flags(simulate)
     _add_cache_flag(simulate)
     _add_server_flag(simulate)
+    _add_trace_flag(simulate)
 
     optimize = subparsers.add_parser(
         "optimize",
@@ -307,6 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_executor_flags(optimize)
     _add_cache_flag(optimize)
     _add_server_flag(optimize)
+    _add_trace_flag(optimize)
 
     serve = subparsers.add_parser(
         "serve",
@@ -341,6 +360,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_flags(serve)
     _add_cache_flag(serve)
+    _add_trace_flag(serve)
 
     cache = subparsers.add_parser(
         "cache", help="inspect or prune a persistent on-disk evaluation cache"
@@ -827,6 +847,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 def _dispatch(args: argparse.Namespace) -> int:
+    """Run one parsed command, wrapped in tracing when ``--trace`` was given.
+
+    The tracer is installed before any engine work starts and uninstalled
+    in a ``finally``, so the Chrome-trace file is written (with the final
+    metrics counter samples) even when the command fails or the serve
+    daemon is interrupted.
+    """
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None:
+        return _run_command(args)
+    from repro.obs import METRICS, install_tracer, uninstall_tracer
+    from repro.obs import write_chrome_trace
+
+    install_tracer()
+    try:
+        return _run_command(args)
+    finally:
+        write_chrome_trace(trace_path, uninstall_tracer(), METRICS)
+        print(f"wrote trace to {trace_path}", file=sys.stderr)
+
+
+def _run_command(args: argparse.Namespace) -> int:
+    """Dispatch one parsed command to its implementation."""
     if args.command == "figures":
         print(
             run_figures(

@@ -19,6 +19,8 @@ from typing import Optional, Sequence
 
 from repro.core.hybrid_vr import PdnMode
 from repro.core.mode_predictor import EteeCurveSet, ModePredictor
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import METRICS
 from repro.pdn.base import OperatingConditions
 from repro.power.domains import WorkloadType
 from repro.power.power_states import BATTERY_LIFE_STATES, PackageCState
@@ -39,6 +41,10 @@ ACTIVE_WORKLOAD_TYPES: Sequence[WorkloadType] = (
 #: Reference TDP at which the power-state curves are characterised.  Package
 #: C-state power is nearly TDP-independent (Sec. 7.1), so one curve suffices.
 POWER_STATE_REFERENCE_TDP_W = 18.0
+
+#: How many mode-curve calibrations this process has run (each hybrid PDN
+#: instance calibrates once per mode, lazily, on first predictor use).
+_CALIBRATIONS = METRICS.counter("flexwatts.calibrations")
 
 
 def calibrate_mode_curves(
@@ -61,9 +67,13 @@ def calibrate_mode_curves(
     tdp_grid_w / ar_grid / power_states:
         The characterisation grid.
     """
-    evaluations = _evaluate_in_mode_batch(
-        flexwatts, mode, _calibration_conditions(tuple(tdp_grid_w), tuple(ar_grid), tuple(power_states))
+    conditions = _calibration_conditions(
+        tuple(tdp_grid_w), tuple(ar_grid), tuple(power_states)
     )
+    _CALIBRATIONS.inc()
+    with obs_trace.span("flexwatts.calibrate", category="calibration",
+                        mode=mode.value, points=len(conditions)):
+        evaluations = _evaluate_in_mode_batch(flexwatts, mode, conditions)
     etee_iter = iter(evaluations)
     curves = EteeCurveSet()
     for workload_type in ACTIVE_WORKLOAD_TYPES:

@@ -18,11 +18,14 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.executor import ExecutorLike
 from repro.analysis.resultset import Record, ResultSet
+from repro.obs import trace as obs_trace
+from repro.obs.runstats import RunStats, executor_label
 from repro.optimize.objectives import (
     CandidateEvaluator,
     EvaluationSettings,
@@ -54,6 +57,11 @@ class OptimizationOutcome:
         The resolved objectives, in selection order.
     strategy:
         Registry name of the strategy that ran.
+    run_stats:
+        Advisory :class:`~repro.obs.runstats.RunStats` of the search --
+        candidates evaluated, wall time, and the evaluator engine's
+        memory-cache hit/miss delta.  Excluded from equality so outcomes
+        compare by what the search produced, not how fast it ran.
     """
 
     results: ResultSet
@@ -61,6 +69,7 @@ class OptimizationOutcome:
     knee: Record
     objectives: Tuple[Objective, ...]
     strategy: str
+    run_stats: Optional[RunStats] = field(default=None, compare=False)
 
     @property
     def knee_pdn(self) -> str:
@@ -141,12 +150,27 @@ def run_optimization(
         """The strategy-facing batch hook (parallelism injected here)."""
         return evaluator.evaluate_batch(points, executor=executor, jobs=jobs)
 
-    evaluated: List[Evaluated] = search.search(space, evaluate, resolved)
+    started = time.perf_counter()
+    before = evaluator.spot.cache_info()
+    with obs_trace.span(
+        "optimize.search", category="optimize",
+        strategy=search.name, space=space.name,
+    ) as search_span:
+        evaluated: List[Evaluated] = search.search(space, evaluate, resolved)
+        search_span.set("candidates", len(evaluated))
     if not evaluated:
         raise ConfigurationError(
             f"strategy {search.name!r} evaluated no candidates of "
             f"space {space.name!r}"
         )
+    after = evaluator.spot.cache_info()
+    run_stats = RunStats(
+        units=len(evaluated),
+        duration_s=time.perf_counter() - started,
+        cache_hits=after.hits - before.hits,
+        cache_misses=after.misses - before.misses,
+        executor=executor_label(executor),
+    )
     results = ResultSet.from_records(
         [record for _, record in evaluated], name=space.name
     )
@@ -161,4 +185,5 @@ def run_optimization(
         knee=knee,
         objectives=resolved,
         strategy=search.name,
+        run_stats=run_stats,
     )

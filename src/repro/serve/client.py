@@ -193,6 +193,10 @@ class ServeClient:
         """``GET /v1/stats``: the full observability document."""
         return self._exchange("GET", "/v1/stats")
 
+    def metrics(self) -> Dict[str, object]:
+        """``GET /v1/metrics``: the process-wide metrics snapshot."""
+        return self._exchange("GET", "/v1/metrics")
+
     def sweep(
         self,
         tdps: Sequence[float],

@@ -42,6 +42,7 @@ from repro.analysis.executor import (
     ExecutorLike,
     evaluate_units_async,
 )
+from repro.obs import trace as obs_trace
 
 #: An engine cache key (opaque: whatever ``engine.cache_key`` returns).
 CacheKey = Tuple[object, ...]
@@ -195,9 +196,11 @@ class Coalescer:
         keys = [key for key, _ in batch]
         units = [unit for _, unit in batch]
         try:
-            results = await evaluate_units_async(
-                self._engine, units, executor=self._executor, jobs=self._jobs
-            )
+            with obs_trace.span("serve.coalescer.flush", category="serve",
+                                units=len(units)):
+                results = await evaluate_units_async(
+                    self._engine, units, executor=self._executor, jobs=self._jobs
+                )
         except Exception as error:  # noqa: BLE001 - settled into the futures
             for key in keys:
                 future = self._inflight.pop(key, None)

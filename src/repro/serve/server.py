@@ -13,6 +13,8 @@ grid workloads over five endpoints:
 ``POST /v1/optimize``     A design-space search (``repro optimize``).
 ``GET /v1/stats``         Cache hit rates, coalescing counters, per-endpoint
                           latency histograms (:mod:`repro.serve.stats`).
+``GET /v1/metrics``       The process-wide :mod:`repro.obs.metrics` snapshot
+                          plus the tracing state.
 ``GET /v1/healthz``       Liveness plus the draining flag.
 ========================  ===================================================
 
@@ -39,9 +41,14 @@ Operational semantics:
   ``status: "partial"`` and the completed rows in canonical order.  A
   client that stalls while sending its body gets ``408``.
 * **Graceful shutdown** -- :meth:`EvaluationServer.shutdown` flips the
-  draining flag (new evaluation requests get ``503``; health and stats
-  keep answering), waits for in-flight requests and dispatched batches to
-  finish, then closes the listener.
+  draining flag (new evaluation requests get ``503``; health, stats and
+  metrics keep answering), waits for in-flight requests and dispatched
+  batches to finish, then closes the listener.
+
+When a tracer is installed (``repro serve --trace``), every request is
+wrapped in a ``serve.request`` span with ``serve.parse`` /
+``serve.dispatch`` / ``serve.reassemble`` children, so a service trace
+shows the full request lifecycle down to the executor chunks.
 """
 
 from __future__ import annotations
@@ -60,6 +67,8 @@ from repro.analysis.pdnspot import PdnSpot
 from repro.analysis.resultset import ResultSet
 from repro.analysis.study import scenario_records
 from repro.cache import canonical_key
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import METRICS, METRICS_SCHEMA_VERSION
 from repro.optimize import run_optimization
 from repro.optimize.objectives import (
     CandidateEvaluator,
@@ -399,6 +408,10 @@ class EvaluationServer:
             if method != "GET":
                 raise _HttpError(405, f"{path} only supports GET")
             return await self._observed(path, "stats", self._handle_stats, body)
+        if path == "/v1/metrics":
+            if method != "GET":
+                raise _HttpError(405, f"{path} only supports GET")
+            return await self._observed(path, "metrics", self._handle_metrics, body)
         handlers = {
             "/v1/sweep": ("sweep", self._handle_sweep),
             "/v1/simulate": ("simulate", self._handle_simulate),
@@ -408,7 +421,7 @@ class EvaluationServer:
             raise _HttpError(
                 404,
                 f"unknown path {path!r}; endpoints: /v1/sweep /v1/simulate "
-                "/v1/optimize /v1/stats /v1/healthz",
+                "/v1/optimize /v1/stats /v1/metrics /v1/healthz",
             )
         endpoint, handler = handlers[path]
         if method != "POST":
@@ -428,17 +441,20 @@ class EvaluationServer:
         self._idle.clear()
         started = time.monotonic()
         status = 500
-        try:
-            status, payload = await handler(body)
-            return status, payload
-        except _HttpError as error:
-            status = error.code
-            raise
-        finally:
-            self._in_flight_requests -= 1
-            if self._in_flight_requests == 0:
-                self._idle.set()
-            stats.observe(time.monotonic() - started, error=status >= 400)
+        with obs_trace.span("serve.request", category="serve",
+                            endpoint=endpoint) as span:
+            try:
+                status, payload = await handler(body)
+                return status, payload
+            except _HttpError as error:
+                status = error.code
+                raise
+            finally:
+                self._in_flight_requests -= 1
+                if self._in_flight_requests == 0:
+                    self._idle.set()
+                stats.observe(time.monotonic() - started, error=status >= 400)
+                span.set("status", status)
 
     def _decode_body(self, body: Optional[bytes]) -> object:
         """Decode a POST body into JSON, mapping failures to 400 errors."""
@@ -455,11 +471,13 @@ class EvaluationServer:
 
     def _parse(self, parser, body: Optional[bytes]):
         """Parse and validate one request body, mapping failures to 400."""
-        decoded = self._decode_body(body)
-        try:
-            return parser(decoded)
-        except ProtocolError as error:
-            raise _HttpError(400, str(error), pointer=error.pointer) from None
+        with obs_trace.span("serve.parse", category="serve",
+                            bytes=len(body) if body else 0):
+            decoded = self._decode_body(body)
+            try:
+                return parser(decoded)
+            except ProtocolError as error:
+                raise _HttpError(400, str(error), pointer=error.pointer) from None
 
     def _effective_timeout(self, requested: Optional[float]) -> float:
         """The evaluation deadline of one request, capped by the server."""
@@ -573,7 +591,9 @@ class EvaluationServer:
         next request.
         """
         timeout = self._effective_timeout(request.timeout_s)
-        futures = coalescer.scatter(units)
+        with obs_trace.span("serve.dispatch", category="serve",
+                            endpoint=endpoint, units=len(units)):
+            futures = coalescer.scatter(units)
         try:
             results = await asyncio.wait_for(
                 asyncio.gather(*(asyncio.shield(future) for future in futures)),
@@ -588,7 +608,10 @@ class EvaluationServer:
             ]
             done_count = sum(1 for result in completed if result is not None)
             if request.allow_partial and done_count:
-                resultset = assemble(completed)
+                with obs_trace.span("serve.reassemble", category="serve",
+                                    endpoint=endpoint, units=done_count,
+                                    partial=True):
+                    resultset = assemble(completed)
                 payload = {
                     "status": "partial",
                     "endpoint": endpoint,
@@ -607,7 +630,9 @@ class EvaluationServer:
             ) from None
         except ReproError as error:
             raise _HttpError(400, str(error)) from None
-        resultset = assemble(list(results))
+        with obs_trace.span("serve.reassemble", category="serve",
+                            endpoint=endpoint, units=len(units)):
+            resultset = assemble(list(results))
         payload = {
             "status": "ok",
             "endpoint": endpoint,
@@ -729,6 +754,28 @@ class EvaluationServer:
     async def _handle_stats(self, body: Optional[bytes]) -> Tuple[int, object]:
         """``GET /v1/stats``: the full observability document."""
         return 200, self.stats_payload()
+
+    async def _handle_metrics(self, body: Optional[bytes]) -> Tuple[int, object]:
+        """``GET /v1/metrics``: the process-wide metrics snapshot."""
+        return 200, self.metrics_payload()
+
+    def metrics_payload(self) -> Dict[str, object]:
+        """Assemble the ``/v1/metrics`` document.
+
+        ``metrics`` is exactly :meth:`repro.obs.metrics.MetricsRegistry.snapshot`
+        of the process-wide registry; ``tracing`` reports whether a tracer
+        is installed and how many span records it currently holds.  Like
+        ``/v1/stats``, this keeps answering while the server drains.
+        """
+        tracer = obs_trace.active_tracer()
+        return {
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "metrics": METRICS.snapshot(),
+            "tracing": {
+                "enabled": tracer is not None,
+                "spans": len(tracer) if tracer is not None else 0,
+            },
+        }
 
     def stats_payload(self) -> Dict[str, object]:
         """Assemble the ``/v1/stats`` document (see :mod:`repro.serve.stats`)."""

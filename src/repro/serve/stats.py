@@ -10,55 +10,58 @@ Everything ``GET /v1/stats`` reports is assembled here from three sources:
   ``cache_info()`` and the on-disk footprint through
   :func:`repro.cache.cache_stats_payload`, the **same** schema helper
   behind ``repro cache stats --json``, so the two surfaces cannot drift.
+
+Since the :mod:`repro.obs` layer landed, the instruments here are thin
+wrappers over :mod:`repro.obs.metrics`: :class:`LatencyHistogram` is the
+shared log-spaced :class:`~repro.obs.metrics.Histogram` serialized under
+its historical ``sum_s`` key, and :class:`EndpointStats` additionally
+mirrors its request/error tallies into the process-wide registry (the
+``serve.requests`` / ``serve.errors`` counters of ``GET /v1/metrics``).
+The ``/v1/stats`` document shape is unchanged byte for byte.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
+
+from repro.obs.metrics import DEFAULT_LATENCY_BOUNDS_S, METRICS, Histogram
 
 #: Upper bucket bounds (seconds) of the request-latency histograms.  Fixed
 #: and log-spaced so dashboards can diff histograms across processes; the
-#: terminal bucket is unbounded.
-LATENCY_BUCKET_BOUNDS_S: Tuple[float, ...] = (
-    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
-    1.0, 2.5, 5.0, 10.0, 30.0, math.inf,
-)
+#: terminal bucket is unbounded.  Now an alias of the process-wide default
+#: layout in :mod:`repro.obs.metrics`, which this module originated.
+LATENCY_BUCKET_BOUNDS_S = DEFAULT_LATENCY_BOUNDS_S
 
 
-class LatencyHistogram:
-    """A fixed-bucket latency histogram (cumulative-free, JSON-ready)."""
+class LatencyHistogram(Histogram):
+    """A fixed-bucket latency histogram (cumulative-free, JSON-ready).
+
+    A thin wrapper over the shared :class:`repro.obs.metrics.Histogram`:
+    same bounds, same bucket labels, but serialized under the service's
+    historical ``sum_s`` key so the ``/v1/stats`` document is byte-stable.
+    """
+
+    __slots__ = ()
 
     def __init__(self) -> None:
-        self._counts: List[int] = [0] * len(LATENCY_BUCKET_BOUNDS_S)
-        self._count = 0
-        self._sum_s = 0.0
-
-    def observe(self, seconds: float) -> None:
-        """Record one request latency."""
-        for index, bound in enumerate(LATENCY_BUCKET_BOUNDS_S):
-            if seconds <= bound:
-                self._counts[index] += 1
-                break
-        self._count += 1
-        self._sum_s += seconds
-
-    @property
-    def count(self) -> int:
-        """Number of recorded observations."""
-        return self._count
+        super().__init__(bounds=LATENCY_BUCKET_BOUNDS_S)
 
     def as_dict(self) -> Dict[str, object]:
         """The histogram as a JSON-ready mapping (stable key order)."""
-        buckets = {
-            ("inf" if math.isinf(bound) else f"{bound:g}"): count
-            for bound, count in zip(LATENCY_BUCKET_BOUNDS_S, self._counts)
-        }
-        return {"count": self._count, "sum_s": self._sum_s, "buckets": buckets}
+        return super().as_dict(sum_key="sum_s")
 
 
 class EndpointStats:
-    """Request counters of one endpoint (count, errors, latency)."""
+    """Request counters of one endpoint (count, errors, latency).
+
+    The per-endpoint tallies stay local to the instance (the ``/v1/stats``
+    ``endpoints`` section is keyed by endpoint name), while the aggregate
+    ``serve.requests`` / ``serve.errors`` counters in the process-wide
+    registry tick alongside so ``GET /v1/metrics`` sees service traffic.
+    """
+
+    _TOTAL_REQUESTS = METRICS.counter("serve.requests")
+    _TOTAL_ERRORS = METRICS.counter("serve.errors")
 
     def __init__(self) -> None:
         self.requests = 0
@@ -68,8 +71,10 @@ class EndpointStats:
     def observe(self, elapsed_s: float, error: bool) -> None:
         """Record one handled request and its outcome."""
         self.requests += 1
+        self._TOTAL_REQUESTS.inc()
         if error:
             self.errors += 1
+            self._TOTAL_ERRORS.inc()
         self.latency.observe(elapsed_s)
 
     def as_dict(self) -> Dict[str, object]:

@@ -17,6 +17,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.flexwatts import FlexWattsPdn
 from repro.core.hybrid_vr import PdnMode
 from repro.core.runtime_estimator import RuntimeInputEstimator
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import METRICS
 from repro.pdn.base import (
     OperatingConditions,
     PdnEvaluation,
@@ -29,6 +31,12 @@ from repro.soc.pmu import PmuTelemetry, PowerManagementUnit
 from repro.util.errors import ConfigurationError
 from repro.util.validation import require_positive
 from repro.workloads.base import WorkloadPhase, WorkloadTrace
+
+# Simulator instruments, bound once at import time.
+_SIM_PHASES = METRICS.counter("sim.phases")
+_SIM_MODE_SWITCHES = METRICS.counter("sim.mode_switches")
+_SIM_RESIDENCY_GUARD_HITS = METRICS.counter("sim.residency_guard_hits")
+_SIM_PREFILL_BATCHES = METRICS.counter("sim.prefill_batches")
 
 #: Evaluation hook for static PDNs: ``(pdn, conditions) -> PdnEvaluation``.
 #: Lets an external memo cache (a :class:`repro.analysis.pdnspot.PdnSpot`)
@@ -232,8 +240,12 @@ class IntervalSimulator:
         # the other direction, and neither import may run at module load.
         from repro.pdn.columnar import evaluate_columns
 
-        results = evaluate_columns(pdn, list(distinct.values()))
+        with obs_trace.span("sim.phase_batch", category="sim",
+                            pdn=pdn.name, points=len(distinct)) as batch_span:
+            results = evaluate_columns(pdn, list(distinct.values()))
+            batch_span.set("columnar", results is not None)
         if results is not None:
+            _SIM_PREFILL_BATCHES.inc()
             evaluations.update(zip(distinct.keys(), results))
 
     def run(
@@ -265,6 +277,10 @@ class IntervalSimulator:
         """
         if pmu is None:
             pmu = PowerManagementUnit(tdp_w=self._tdp_w)
+        if obs_trace.tracing_enabled():
+            # Satellite bridge: mirror the PMU's telemetry emissions into
+            # the trace so per-phase activity shows on the sim timeline.
+            obs_trace.attach_pmu_tracing(pmu)
         durations_s = [self._phase_duration_s(phase) for phase in trace.phases]
         if not any(duration > 0.0 for duration in durations_s):
             raise ConfigurationError(
@@ -311,54 +327,76 @@ class IntervalSimulator:
                 predictions[key] = cached
             return cached
 
-        for index, phase in enumerate(trace.phases):
-            duration_s = durations_s[index]
-            if duration_s == 0.0:
-                continue
-            conditions = self._conditions_for_phase(phase)
-            switched = False
-            mode_name: Optional[str] = None
-            if adaptive:
-                controller = pdn.switch_controller
-                controller.advance_time(duration_s)
-                desired_mode = predict_point(conditions)
-                if desired_mode is not controller.mode and controller.can_switch():
-                    # The switch is performed at the phase boundary, while the
-                    # compute domains are idle (the flow itself forces C6).
-                    previous_power = evaluate_point(
-                        conditions, controller.mode
-                    ).supply_power_w
-                    latency_s = controller.switch_to(desired_mode, pmu=pmu)
-                    result.mode_switch_count += 1
-                    result.mode_switch_time_s += latency_s
-                    result.mode_switch_energy_j += previous_power * latency_s
-                    switched = True
-                evaluation = evaluate_point(conditions, controller.mode)
-                mode_name = controller.mode.value
-            else:
-                evaluation = evaluate_point(conditions, None)
-            pmu.advance_time(duration_s)
-            pmu.enter_power_state(phase.power_state)
-            if pmu.has_telemetry_listeners:
-                pmu.emit_telemetry(
-                    RuntimeInputEstimator.estimate_from_conditions(conditions)
+        with obs_trace.span("sim.run", category="sim", trace=trace.name,
+                            pdn=pdn.name, tdp_w=self._tdp_w) as run_span:
+            for index, phase in enumerate(trace.phases):
+                duration_s = durations_s[index]
+                if duration_s == 0.0:
+                    continue
+                _SIM_PHASES.inc()
+                conditions = self._conditions_for_phase(phase)
+                switched = False
+                mode_name: Optional[str] = None
+                if adaptive:
+                    controller = pdn.switch_controller
+                    controller.advance_time(duration_s)
+                    desired_mode = predict_point(conditions)
+                    if desired_mode is not controller.mode:
+                        if controller.can_switch():
+                            # The switch is performed at the phase boundary,
+                            # while the compute domains are idle (the flow
+                            # itself forces C6).
+                            previous_power = evaluate_point(
+                                conditions, controller.mode
+                            ).supply_power_w
+                            latency_s = controller.switch_to(desired_mode, pmu=pmu)
+                            result.mode_switch_count += 1
+                            result.mode_switch_time_s += latency_s
+                            result.mode_switch_energy_j += previous_power * latency_s
+                            switched = True
+                            _SIM_MODE_SWITCHES.inc()
+                            obs_trace.instant(
+                                "sim.mode_switch", category="sim",
+                                phase=index, mode=desired_mode.value,
+                                latency_s=latency_s,
+                            )
+                        else:
+                            # The minimum-residency guard vetoed a wanted
+                            # switch: the thrashing case the paper's flow
+                            # is designed to suppress.
+                            _SIM_RESIDENCY_GUARD_HITS.inc()
+                            obs_trace.instant(
+                                "sim.residency_guard_hit", category="sim",
+                                phase=index, desired=desired_mode.value,
+                            )
+                    evaluation = evaluate_point(conditions, controller.mode)
+                    mode_name = controller.mode.value
+                else:
+                    evaluation = evaluate_point(conditions, None)
+                pmu.advance_time(duration_s)
+                pmu.enter_power_state(phase.power_state)
+                if pmu.has_telemetry_listeners:
+                    pmu.emit_telemetry(
+                        RuntimeInputEstimator.estimate_from_conditions(conditions)
+                    )
+                result.phase_records.append(
+                    PhaseRecord(
+                        phase_index=index,
+                        power_state=phase.power_state.value,
+                        workload_type=(
+                            phase.benchmark.workload_type.value
+                            if phase.benchmark is not None
+                            else WorkloadType.IDLE.value
+                        ),
+                        duration_s=duration_s,
+                        supply_power_w=evaluation.supply_power_w,
+                        energy_j=evaluation.supply_power_w * duration_s,
+                        pdn_mode=mode_name,
+                        mode_switched=switched,
+                    )
                 )
-            result.phase_records.append(
-                PhaseRecord(
-                    phase_index=index,
-                    power_state=phase.power_state.value,
-                    workload_type=(
-                        phase.benchmark.workload_type.value
-                        if phase.benchmark is not None
-                        else WorkloadType.IDLE.value
-                    ),
-                    duration_s=duration_s,
-                    supply_power_w=evaluation.supply_power_w,
-                    energy_j=evaluation.supply_power_w * duration_s,
-                    pdn_mode=mode_name,
-                    mode_switched=switched,
-                )
-            )
+            run_span.set("phases", len(result.phase_records))
+            run_span.set("mode_switches", result.mode_switch_count)
         return result
 
     def compare(

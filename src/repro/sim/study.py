@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -51,6 +52,8 @@ from repro.analysis.study import OverrideKey, _flatten, _freeze_overrides
 from repro.core.flexwatts import FlexWattsPdn
 from repro.core.hybrid_vr import PdnMode
 from repro.core.mode_switching import ModeSwitchController
+from repro.obs import trace as obs_trace
+from repro.obs.runstats import RunStats, executor_label
 from repro.pdn.base import OperatingConditions, PdnEvaluation, conditions_key
 from repro.power.parameters import PdnTechnologyParameters
 from repro.sim.adapters import simulation_record
@@ -624,6 +627,8 @@ class SimEngine(TwoTierCacheMixin):
         simulation, in canonical grid order regardless of the backend --
         a parallel run is bit-identical to the serial one.
         """
+        started = time.perf_counter()
+        before = self.cache_info()
         names = (
             study.pdn_names if study.pdn_names is not None else tuple(self._spot.pdns)
         )
@@ -634,7 +639,9 @@ class SimEngine(TwoTierCacheMixin):
             for point in study.points
             for name in names
         ]
-        results = self.evaluate_units(units, executor=executor, jobs=jobs)
+        with obs_trace.span("engine.run", category="engine",
+                            study=study.name, units=len(units)):
+            results = self.evaluate_units(units, executor=executor, jobs=jobs)
         records: List[Record] = []
         cursor = 0
         for point in study.points:
@@ -642,7 +649,16 @@ class SimEngine(TwoTierCacheMixin):
             for _ in names:
                 records.append(simulation_record(results[cursor], identity))
                 cursor += 1
-        return ResultSet.from_records(records, name=study.name)
+        resultset = ResultSet.from_records(records, name=study.name)
+        after = self.cache_info()
+        resultset.run_stats = RunStats(
+            units=len(units),
+            duration_s=time.perf_counter() - started,
+            cache_hits=after.hits - before.hits,
+            cache_misses=after.misses - before.misses,
+            executor=executor_label(make_executor(executor, jobs=jobs)),
+        )
+        return resultset
 
 
 def run_sim(

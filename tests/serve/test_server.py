@@ -173,7 +173,13 @@ class TestIntrospection:
             run_cache_command("stats", server_cache_dir, as_json=True)
         )
         assert stats["cache"]["disk"] == cli_payload
-        assert set(stats["cache"]["disk"]) == {"cache_dir", "namespaces"}
+        assert set(stats["cache"]["disk"]) == {
+            "schema_version",
+            "cache_dir",
+            "namespaces",
+            "io",
+        }
+        assert set(stats["cache"]["disk"]["io"]) == {"get", "put", "self_heal"}
 
 
 # --------------------------------------------------------------------------- #
